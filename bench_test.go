@@ -1,0 +1,393 @@
+// Benchmarks, one per table/figure of the paper's evaluation (see
+// DESIGN.md for the experiment index) plus ablations of the design
+// choices. cmd/dpbench runs the same experiments at paper scale and
+// prints the full tables; these benches keep instances small enough for
+// "go test -bench=.". Shape metrics (speedup, efficiency, peak edges)
+// are attached with b.ReportMetric.
+package dpgen
+
+import (
+	"testing"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/ehrhart"
+	"dpgen/internal/engine"
+	"dpgen/internal/fm"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+	"dpgen/internal/problems"
+	"dpgen/internal/simsched"
+	"dpgen/internal/tiling"
+)
+
+func benchTiling(b *testing.B, name string, width int64) *tiling.Tiling {
+	b.Helper()
+	p, err := problems.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := *p.Spec
+	if width > 0 {
+		w := make([]int64, len(sp.Vars))
+		for i := range w {
+			w[i] = width
+		}
+		sp.TileWidths = w
+	}
+	tl, err := tiling.New(&sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tl
+}
+
+func benchKernel(b *testing.B, name string) engine.Kernel {
+	b.Helper()
+	p, err := problems.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Kernel
+}
+
+// BenchmarkFig1Bandit2 measures the hybrid solve of the Section II
+// problem (whose value the tests verify bit-exactly against Figure 1).
+func BenchmarkFig1Bandit2(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	kernel := benchKernel(b, "bandit2")
+	params := []int64{30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(tl, kernel, params, engine.Config{Nodes: 2, Threads: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Balance measures the Ehrhart-weighted prefix balancer
+// across 3 nodes and reports the achieved imbalance.
+func BenchmarkFig2Balance(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 4)
+	params := []int64{40}
+	var im float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := balance.Build(tl, params, 3, balance.Prefix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		im = a.Imbalance()
+	}
+	b.ReportMetric(im, "imbalance")
+}
+
+// BenchmarkFig3LoopGen measures the full generation-time analysis
+// (Fourier–Motzkin projections, loop-bound synthesis, pack nests).
+func BenchmarkFig3LoopGen(b *testing.B) {
+	p, err := problems.Get("bandit2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tiling.New(p.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig45Memory runs the priority-policy memory experiment and
+// reports the peak buffered edges under each policy.
+func BenchmarkFig45Memory(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 4)
+	kernel := benchKernel(b, "bandit2")
+	params := []int64{20}
+	for _, tc := range []struct {
+		name string
+		prio engine.Priority
+	}{{"ColumnMajor", engine.ColumnMajor}, {"LevelSet", engine.LevelSet}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Run(tl, kernel, params, engine.Config{Priority: tc.prio})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = res.Stats[0].PeakPendingEdges
+			}
+			b.ReportMetric(float64(peak), "peak-edges")
+		})
+	}
+}
+
+// BenchmarkFig6SharedScaling simulates the 24-core shared-memory point
+// of Figure 6 and reports the speedup.
+func BenchmarkFig6SharedScaling(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	params := []int64{90}
+	cache := simsched.NewCostCache()
+	var sp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simsched.Simulate(tl, params, simsched.Config{Nodes: 1, Cores: 24, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = res.Speedup()
+	}
+	b.ReportMetric(sp, "speedup-24c")
+}
+
+// BenchmarkFig7WeakScaling simulates the 8-node point of Figure 7 and
+// reports per-location-normalized efficiency against a 1-node run.
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	base, err := simsched.Simulate(tl, []int64{60}, simsched.Config{Nodes: 1, Cores: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	basePerLoc := base.Makespan / float64(base.TotalCells)
+	cache := simsched.NewCostCache()
+	var eff float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simsched.Simulate(tl, []int64{103}, simsched.Config{Nodes: 8, Cores: 24, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = basePerLoc / (res.Makespan * 8 / float64(res.TotalCells))
+	}
+	b.ReportMetric(100*eff, "weak-eff-%")
+}
+
+// BenchmarkTileWidthSweep simulates the Section VI-C tile-size effect at
+// two widths on 8 nodes.
+func BenchmarkTileWidthSweep(b *testing.B) {
+	for _, w := range []int64{6, 24} {
+		tl := benchTiling(b, "bandit2", w)
+		cache := simsched.NewCostCache()
+		cost := simsched.DefaultCostModel()
+		cost.TileOverhead = 20e-6
+		b.Run(map[int64]string{6: "w6", 24: "w24"}[w], func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				res, err := simsched.Simulate(tl, []int64{120}, simsched.Config{
+					Nodes: 8, Cores: 24, Cache: cache, Cost: cost,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(mk*1e3, "makespan-ms")
+		})
+	}
+}
+
+// BenchmarkBufferSweep simulates the Section VI-C send-buffer effect.
+func BenchmarkBufferSweep(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	cost := simsched.DefaultCostModel()
+	cost.MsgLatency = 100e-6
+	for _, bufs := range []int{1, 16} {
+		cache := simsched.NewCostCache()
+		b.Run(map[int]string{1: "bufs1", 16: "bufs16"}[bufs], func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				res, err := simsched.Simulate(tl, []int64{60}, simsched.Config{
+					Nodes: 8, Cores: 24, SendBufs: bufs, Cost: cost, Cache: cache,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(mk*1e3, "makespan-ms")
+		})
+	}
+}
+
+// BenchmarkInitialTiles measures the serial initial-tile generation scan
+// of Section IV-K.
+func BenchmarkInitialTiles(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	params := []int64{100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		initial, total := tl.InitialTiles(params)
+		if len(initial) == 0 || total == 0 {
+			b.Fatal("no tiles")
+		}
+	}
+}
+
+// BenchmarkPendingMemory measures a full run and reports the peak
+// buffered-edge memory relative to the full-space table (Section V-B).
+func BenchmarkPendingMemory(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 5)
+	kernel := benchKernel(b, "bandit2")
+	N := int64(40)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Run(tl, kernel, []int64{N}, engine.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc := (N + 1) * (N + 2) * (N + 3) * (N + 4) / 24
+		ratio = float64(res.Stats[0].PeakBufferedElems) / float64(loc)
+	}
+	b.ReportMetric(100*ratio, "peak/space-%")
+}
+
+// BenchmarkFig8Hyperplane simulates the hyperplane balancer (Fig 8).
+func BenchmarkFig8Hyperplane(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 5)
+	for _, tc := range []struct {
+		name string
+		m    balance.Method
+	}{{"Prefix", balance.Prefix}, {"Hyperplane", balance.Hyperplane}} {
+		cache := simsched.NewCostCache()
+		b.Run(tc.name, func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				res, err := simsched.Simulate(tl, []int64{60}, simsched.Config{
+					Nodes: 4, Cores: 24, Balance: tc.m, Cache: cache,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mk = res.Makespan
+			}
+			b.ReportMetric(mk*1e3, "makespan-ms")
+		})
+	}
+}
+
+// ---- ablations ----
+
+// BenchmarkFMRedundancy compares Fourier–Motzkin with syntactic-only
+// deduplication against full simplex redundancy pruning, reporting the
+// surviving constraint counts.
+func BenchmarkFMRedundancy(b *testing.B) {
+	// A pairwise-constrained system where Fourier–Motzkin famously
+	// multiplies constraints: x_i + x_j <= N for all i < j, x_i >= 0;
+	// eliminating the middle variables squares the count per step unless
+	// redundancy is pruned.
+	vars := []string{"x1", "x2", "x3", "x4", "x5", "x6"}
+	s := lin.MustSpace([]string{"N"}, vars)
+	sys := lin.NewSystem(s)
+	for i := range vars {
+		sys.AddGE(lin.Var(s, vars[i]), lin.Zero(s))
+		for j := i + 1; j < len(vars); j++ {
+			sys.AddLE(lin.Var(s, vars[i]).Add(lin.Var(s, vars[j])), lin.Var(s, "N"))
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		opts fm.Options
+	}{
+		{"Syntactic", fm.Options{Prune: fm.PruneSyntactic}},
+		{"Simplex", fm.Options{Prune: fm.PruneSimplex}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				out, err := fm.EliminateAll(sys, vars[1:5], tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(out.Ineqs)
+			}
+			b.ReportMetric(float64(n), "constraints")
+		})
+	}
+}
+
+// BenchmarkPackedVsWhole reports the communication saving of packed edge
+// slabs against shipping whole tiles (Section IV-I: one bandit edge is
+// w^3 of a w^4 tile).
+func BenchmarkPackedVsWhole(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	params := []int64{60}
+	var packed, whole int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed, whole = 0, 0
+		tl.ForEachTile(params, func(t []int64) bool {
+			tc := append([]int64(nil), t...)
+			for j := range tl.TileDeps {
+				packed += tl.EdgeSize(params, tc, j)
+				whole += tl.AllocLen
+			}
+			return true
+		})
+	}
+	b.ReportMetric(float64(whole)/float64(packed), "whole/packed")
+}
+
+// BenchmarkEhrhart measures quasi-polynomial reconstruction for the
+// bandit space (the paper's Barvinok step).
+func BenchmarkEhrhart(b *testing.B) {
+	p, err := problems.Get("bandit2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nest, err := loopgen.Build(p.Spec.System(), p.Spec.Order(), fm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ehrhart.Interpolate(nest, ehrhart.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures end-to-end program generation (spec to
+// formatted standalone source).
+func BenchmarkGenerate(b *testing.B) {
+	p, err := problems.Get("bandit2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p.Spec, GenOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCellThroughput reports the in-process runtime's cell
+// rate on the 2-arm bandit kernel (single node, single thread).
+func BenchmarkEngineCellThroughput(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	kernel := benchKernel(b, "bandit2")
+	N := int64(40)
+	cells := (N + 1) * (N + 2) * (N + 3) * (N + 4) / 24
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(tl, kernel, []int64{N}, engine.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkSimplexRedundant measures the exact-rational redundancy test.
+func BenchmarkSimplexRedundant(b *testing.B) {
+	s := lin.MustSpace([]string{"N"}, []string{"x", "y"})
+	sys := lin.NewSystem(s)
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "N"))
+	sys.AddLE(lin.Var(s, "x").Add(lin.Var(s, "y")), lin.Var(s, "N").AddConst(5))
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddGE(lin.Var(s, "y"), lin.Zero(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fm.Simplify(sys, fm.Options{Prune: fm.PruneSimplex}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

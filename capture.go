@@ -1,0 +1,67 @@
+package dpgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Table is a concurrency-safe store of computed cell values, supporting
+// the solution-recovery pattern of the paper's Section VII-A: the
+// generated programs normally discard interior values, so a caller who
+// wants a traceback captures them during the run and walks the table
+// afterwards.
+//
+// Use NewTable to build one and pass its Hook as Config.OnCell.
+type Table struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{m: make(map[string]float64)} }
+
+// Hook returns an OnCell callback that records every computed cell.
+func (t *Table) Hook() func(x []int64, v float64) {
+	return func(x []int64, v float64) {
+		k := key(x)
+		t.mu.Lock()
+		t.m[k] = v
+		t.mu.Unlock()
+	}
+}
+
+// Get returns the value at x and whether it was computed.
+func (t *Table) Get(x ...int64) (float64, bool) {
+	t.mu.Lock()
+	v, ok := t.m[key(x)]
+	t.mu.Unlock()
+	return v, ok
+}
+
+// At returns the value at x, panicking if the cell was never computed —
+// convenient inside tracebacks where absence is a logic error.
+func (t *Table) At(x ...int64) float64 {
+	v, ok := t.Get(x...)
+	if !ok {
+		panic(fmt.Sprintf("dpgen: Table.At(%v): cell not captured", x))
+	}
+	return v
+}
+
+// Len returns the number of captured cells.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func key(x []int64) string {
+	var b strings.Builder
+	for _, v := range x {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

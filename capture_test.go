@@ -1,0 +1,79 @@
+package dpgen
+
+import "testing"
+
+func TestTableCaptureAndTraceback(t *testing.T) {
+	// Solve a 2-D path-count problem, capture all cells, and walk a
+	// value-preserving path from the goal to the start face — the
+	// Section VII-A traceback pattern.
+	sp, err := NewSpec("paths", []string{"N"}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.MustConstrain("0 <= x <= N")
+	sp.MustConstrain("0 <= y <= N")
+	sp.AddDep("r", 1, 0)
+	sp.AddDep("d", 0, 1)
+	sp.TileWidths = []int64{4, 4}
+	kernel := func(c *Ctx) {
+		if c.X[0] == c.P[0] && c.X[1] == c.P[0] {
+			c.V[c.Loc] = 1
+			return
+		}
+		var v float64
+		if c.DepValid[0] {
+			v += c.V[c.DepLoc[0]]
+		}
+		if c.DepValid[1] {
+			v += c.V[c.DepLoc[1]]
+		}
+		c.V[c.Loc] = v
+	}
+	N := int64(9)
+	tab := NewTable()
+	res, err := Run(sp, kernel, []int64{N}, Config{Nodes: 2, Threads: 3, OnCell: tab.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(18,9) = 48620 monotone lattice paths.
+	if res.Value != 48620 {
+		t.Fatalf("Value = %v, want 48620", res.Value)
+	}
+	if want := (N + 1) * (N + 1); int64(tab.Len()) != want {
+		t.Fatalf("captured %d cells, want %d", tab.Len(), want)
+	}
+	// Traceback: from (0,0), repeatedly step to a neighbour whose count
+	// is positive, reaching (N,N) in exactly 2N steps.
+	x, y := int64(0), int64(0)
+	steps := 0
+	for x < N || y < N {
+		switch {
+		case x < N && tab.At(x+1, y) > 0:
+			x++
+		case y < N:
+			y++
+		default:
+			t.Fatalf("stuck at (%d,%d)", x, y)
+		}
+		steps++
+		if steps > int(2*N) {
+			t.Fatal("traceback too long")
+		}
+	}
+	if steps != int(2*N) {
+		t.Fatalf("traceback took %d steps, want %d", steps, 2*N)
+	}
+	if _, ok := tab.Get(N+1, 0); ok {
+		t.Error("out-of-space cell present")
+	}
+}
+
+func TestTableAtPanicsOnMissing(t *testing.T) {
+	tab := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tab.At(1, 2)
+}

@@ -1,0 +1,183 @@
+// Package dpgen is an automatic generator of hybrid parallel programs
+// for multidimensional dynamic programming problems with template
+// dependencies, reproducing VandenBerg & Stout, "Automatic Hybrid
+// OpenMP + MPI Program Generation for Dynamic Programming Problems"
+// (IEEE CLUSTER 2011).
+//
+// A problem is described by a Spec: loop variables, integer parameters,
+// a system of linear inequalities bounding the iteration space, constant
+// template dependence vectors (f(x) depends on f(x + r)), a loop order,
+// tile widths, and load-balancing dimensions. From a Spec, dpgen can
+//
+//   - Run the problem on the in-process hybrid runtime (worker
+//     goroutines per simulated node standing in for OpenMP threads,
+//     bounded channels between nodes standing in for MPI), given a Go
+//     Kernel for the center loop;
+//
+//   - Generate a complete, self-contained Go program (stdlib-only) that
+//     solves the problem — the paper's code-generation artifact — from a
+//     spec whose kernel is supplied as Go source text; and
+//
+//   - Simulate the generated program's execution on a modeled cluster
+//     (cores, NICs, links) to study scaling beyond the host machine.
+//
+// The quickstart example:
+//
+//	p, _ := dpgen.Builtin("bandit2")
+//	res, _ := dpgen.RunProblem(p, []int64{40}, dpgen.Config{Nodes: 4, Threads: 6})
+//	fmt.Println(res.Value)
+package dpgen
+
+import (
+	"fmt"
+	"os"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/codegen"
+	"dpgen/internal/engine"
+	"dpgen/internal/problems"
+	"dpgen/internal/simsched"
+	"dpgen/internal/spec"
+	"dpgen/internal/tiling"
+)
+
+// Spec is a problem description (see dpgen/internal/spec for the full
+// field documentation and the text input format).
+type Spec = spec.Spec
+
+// Dep is a template dependence vector.
+type Dep = spec.Dep
+
+// Kernel is the center-loop body executed once per location.
+type Kernel = engine.Kernel
+
+// Ctx is the per-location kernel context: the state array V, the
+// current location Loc, the dependence locations DepLoc, the validity
+// flags DepValid, and the loop variable and parameter values.
+type Ctx = engine.Ctx
+
+// Config controls an in-process run: nodes, threads per node, buffer
+// counts, priority policy and balance method.
+type Config = engine.Config
+
+// Result is the outcome of a run.
+type Result = engine.Result
+
+// NodeStats are per-node runtime counters.
+type NodeStats = engine.NodeStats
+
+// Priority selects the ready-tile execution order.
+type Priority = engine.Priority
+
+// Priority policies (Section V-B of the paper).
+const (
+	ColumnMajor = engine.ColumnMajor
+	LevelSet    = engine.LevelSet
+	FIFO        = engine.FIFO
+)
+
+// BalanceMethod selects the static load balancer.
+type BalanceMethod = balance.Method
+
+// Balance methods: Prefix is the paper's production balancer
+// (Section IV-J); Hyperplane its future-work refinement (Section VII-B).
+const (
+	Prefix     = balance.Prefix
+	Hyperplane = balance.Hyperplane
+)
+
+// Problem bundles a Spec with a Kernel and a serial reference solver.
+type Problem = problems.Problem
+
+// GenOptions configures program generation.
+type GenOptions = codegen.Options
+
+// SimConfig configures a simulated cluster run.
+type SimConfig = simsched.Config
+
+// SimResult is the outcome of a simulated run.
+type SimResult = simsched.Result
+
+// CostModel holds the simulated machine constants.
+type CostModel = simsched.CostModel
+
+// Analysis is the generation-time analysis of a spec: tile space, tile
+// dependencies, validity functions, memory layout and pack/unpack scans.
+type Analysis = tiling.Tiling
+
+// NewSpec creates an empty spec with the given name, parameters and
+// loop variables; add constraints and dependencies with its methods.
+func NewSpec(name string, params, vars []string) (*Spec, error) {
+	return spec.New(name, params, vars)
+}
+
+// ParseSpec parses the generator's text input format.
+func ParseSpec(text string) (*Spec, error) { return spec.Parse(text) }
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dpgen: %w", err)
+	}
+	sp, err := spec.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("dpgen: %s: %w", path, err)
+	}
+	return sp, nil
+}
+
+// Analyze runs the generation-time analysis of a spec.
+func Analyze(sp *Spec) (*Analysis, error) { return tiling.New(sp) }
+
+// Run executes a spec with the given kernel on the in-process hybrid
+// runtime.
+func Run(sp *Spec, kernel Kernel, params []int64, cfg Config) (*Result, error) {
+	tl, err := tiling.New(sp)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(tl, kernel, params, cfg)
+}
+
+// RunAnalyzed executes a previously analyzed spec (saves the analysis
+// cost across repeated runs).
+func RunAnalyzed(tl *Analysis, kernel Kernel, params []int64, cfg Config) (*Result, error) {
+	return engine.Run(tl, kernel, params, cfg)
+}
+
+// RunProblem executes a built-in problem.
+func RunProblem(p *Problem, params []int64, cfg Config) (*Result, error) {
+	return Run(p.Spec, p.Kernel, params, cfg)
+}
+
+// Generate emits a standalone hybrid Go program for the spec. The spec
+// must carry center-loop code (Spec.KernelCode).
+func Generate(sp *Spec, opts GenOptions) ([]byte, error) {
+	return codegen.Generate(sp, opts)
+}
+
+// Simulate runs the spec's tile schedule on a modeled cluster and
+// reports makespan, idle time and traffic.
+func Simulate(sp *Spec, params []int64, cfg SimConfig) (*SimResult, error) {
+	tl, err := tiling.New(sp)
+	if err != nil {
+		return nil, err
+	}
+	return simsched.Simulate(tl, params, cfg)
+}
+
+// SimulateAnalyzed simulates a previously analyzed spec.
+func SimulateAnalyzed(tl *Analysis, params []int64, cfg SimConfig) (*SimResult, error) {
+	return simsched.Simulate(tl, params, cfg)
+}
+
+// Builtin returns a built-in problem by name; see Builtins.
+func Builtin(name string) (*Problem, error) { return problems.Get(name) }
+
+// Builtins lists the built-in problem names: the paper's bandit
+// problems and the sequence problems its introduction motivates.
+func Builtins() []string { return problems.Names() }
+
+// DefaultCostModel returns the simulator's calibrated machine constants.
+func DefaultCostModel() CostModel { return simsched.DefaultCostModel() }

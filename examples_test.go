@@ -1,0 +1,37 @@
+package dpgen
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main at a small size; they are
+// the documentation, so they must keep working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string // substring that must appear on stdout
+	}{
+		{"quickstart", []string{"-N", "12", "-nodes", "2", "-threads", "2"}, "matches the serial"},
+		{"bandit3", []string{"-N", "6", "-nodes", "2", "-threads", "2"}, "third arm adds"},
+		{"msa", []string{"-len", "12", "-nodes", "2", "-threads", "2"}, "MSA >= bound: true"},
+		{"lcs", []string{"-len", "16", "-nodes", "2", "-threads", "2"}, "verified: the recovered string"},
+		{"tuning", []string{"-N", "30", "-nodes", "2", "-cores", "4"}, "best: tile width"},
+		{"codegen", []string{"-o", t.TempDir() + "/gen.go"}, "standalone, stdlib-only Go"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command("go", append([]string{"run", "./examples/" + c.dir}, c.args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.dir, err, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Errorf("%s: output missing %q:\n%s", c.dir, c.want, out)
+		}
+	}
+}

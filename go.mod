@@ -1,0 +1,3 @@
+module dpgen
+
+go 1.22

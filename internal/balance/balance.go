@@ -1,0 +1,192 @@
+// Package balance implements the static load balancers of the paper:
+//
+//   - Prefix (Section IV-J): work — counted per load-balancing slab with
+//     the Ehrhart machinery — is accumulated over the load-balancing
+//     cells in priority-lexicographic order and cut into equal-work
+//     contiguous ranges, one per node. Cuts fall on lb1 boundaries and
+//     are refined within a boundary slab by lb2 and so on, exactly the
+//     "highest priority dimension cuts, lesser dimensions refine"
+//     behaviour of Figure 2.
+//
+//   - Hyperplane (Section VII-B, Figure 8): cells are ordered by the
+//     diagonal level sum(t_lb) before the lexicographic refinement, so
+//     the cuts approximate hyperplanes that slice wedge-shaped spaces
+//     more evenly and shorten the pipeline critical path.
+//
+// All tiles sharing load-balancing coordinates go to the same node, as in
+// the paper (ownership is a function of the load-balancing indices only).
+package balance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpgen/internal/tiling"
+)
+
+// Method selects the partitioning strategy.
+type Method int
+
+const (
+	// Prefix is the paper's production balancer (Section IV-J).
+	Prefix Method = iota
+	// Hyperplane is the paper's future-work balancer (Section VII-B).
+	Hyperplane
+)
+
+func (m Method) String() string {
+	switch m {
+	case Prefix:
+		return "prefix"
+	case Hyperplane:
+		return "hyperplane"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Assignment maps tiles to nodes for fixed parameter values.
+type Assignment struct {
+	Nodes  int
+	Method Method
+	// Work is the per-node total work (iteration-space cells).
+	Work []int64
+	// Tiles is the per-node owned-tile count (used by the runtime for
+	// termination without a full tile-space scan).
+	Tiles []int64
+	// Total is the problem's total work, the paper's first Ehrhart
+	// polynomial evaluated at the parameters.
+	Total int64
+
+	lbIdx []int
+	owner map[string]int
+}
+
+// Build computes the node assignment for the given tiling, parameter
+// values and node count.
+func Build(tl *tiling.Tiling, params []int64, nodes int, m Method) (*Assignment, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("balance: need at least 1 node, got %d", nodes)
+	}
+	nest, err := tl.LBNest()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		lb    []int64
+		work  int64
+		tiles int64
+	}
+	var cells []cell
+	np := len(params)
+	var total int64
+	var walkErr error
+	nest.Enumerate(params, func(vals []int64) bool {
+		lb := append([]int64(nil), vals[np:]...)
+		w, err := tl.SlabWork(params, lb)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if w == 0 {
+			return true // empty slab: no tiles to own
+		}
+		nt, err := tl.SlabTiles(params, lb)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		cells = append(cells, cell{lb: lb, work: w, tiles: nt})
+		total += w
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("balance: problem has no work for params %v", params)
+	}
+
+	if m == Hyperplane {
+		// Order by diagonal level first, keeping lexicographic refinement
+		// within a level. Enumeration order is already lexicographic, so a
+		// stable sort by level suffices.
+		sort.SliceStable(cells, func(i, j int) bool {
+			return sum(cells[i].lb) < sum(cells[j].lb)
+		})
+	}
+
+	a := &Assignment{
+		Nodes:  nodes,
+		Method: m,
+		Work:   make([]int64, nodes),
+		Tiles:  make([]int64, nodes),
+		Total:  total,
+		lbIdx:  tl.LBIndices(),
+		owner:  make(map[string]int, len(cells)),
+	}
+	var cum int64
+	for _, c := range cells {
+		// Assign by the midpoint of the cell's work interval so cells
+		// straddling a cut go to the node owning most of them.
+		mid := cum + c.work/2
+		node := int(mid * int64(nodes) / total)
+		if node >= nodes {
+			node = nodes - 1
+		}
+		a.owner[key(c.lb)] = node
+		a.Work[node] += c.work
+		a.Tiles[node] += c.tiles
+		cum += c.work
+	}
+	return a, nil
+}
+
+// Owner returns the node owning the given tile (Vars-order tile index).
+func (a *Assignment) Owner(t []int64) int {
+	lb := make([]int64, len(a.lbIdx))
+	for i, k := range a.lbIdx {
+		lb[i] = t[k]
+	}
+	n, ok := a.owner[key(lb)]
+	if !ok {
+		// Tiles outside the load-balancing space should not exist; owning
+		// them on node 0 keeps the runtime total-footed rather than
+		// panicking deep inside a worker.
+		return 0
+	}
+	return n
+}
+
+// Imbalance returns max(Work)/mean(Work); 1.0 is perfect.
+func (a *Assignment) Imbalance() float64 {
+	var max int64
+	for _, w := range a.Work {
+		if w > max {
+			max = w
+		}
+	}
+	mean := float64(a.Total) / float64(a.Nodes)
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+func key(lb []int64) string {
+	var b strings.Builder
+	for _, v := range lb {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func sum(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,413 @@
+package codegen
+
+// runtimeSrc is the problem-independent half of every generated program:
+// the hybrid scheduler of Section V, monomorphized against the generated
+// dp* symbols. It deliberately avoids backquoted strings so it can live
+// in this raw literal.
+const runtimeSrc = `// ---- hybrid runtime (generated, problem independent) ----
+
+var (
+	flagNodes    = flag.Int("nodes", 1, "simulated MPI ranks")
+	flagThreads  = flag.Int("threads", runtime.NumCPU(), "worker threads per node (OpenMP analog)")
+	flagSendBufs = flag.Int("sendbufs", 4, "send buffers per node")
+	flagRecvBufs = flag.Int("recvbufs", 16, "receive buffers per node")
+	flagStats    = flag.Bool("stats", false, "print per-node statistics")
+)
+
+func dpCeilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+func dpFloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func dpMax(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func dpMin(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dpDepCount counts the tile dependencies of t that exist in the tile
+// space; a tile becomes ready when that many edges have arrived.
+func dpDepCount(t *[dpDims]int64) int {
+	n := 0
+	for j := 0; j < dpNumTileDeps; j++ {
+		var p [dpDims]int64
+		for k := 0; k < dpDims; k++ {
+			p[k] = t[k] + dpTileDepOffsets[j][k]
+		}
+		if dpTileInSpace(&p) {
+			n++
+		}
+	}
+	return n
+}
+
+// dpLBKeyOf extracts the load-balancing coordinates of a tile.
+func dpLBKeyOf(t *[dpDims]int64) [dpDims]int64 {
+	var k [dpDims]int64
+	for i := 0; i < dpNumLB; i++ {
+		k[i] = t[dpLBIdx[i]]
+	}
+	return k
+}
+
+// dpKeyOf builds the column-major priority key of Figure 5:
+// load-balancing dimensions first, each oriented so that smaller keys
+// execute earlier.
+func dpKeyOf(t *[dpDims]int64) [dpDims]int64 {
+	var k [dpDims]int64
+	for i := 0; i < dpDims; i++ {
+		k[i] = dpKeyDirs[i] * t[dpKeyDims[i]]
+	}
+	return k
+}
+
+// dpBuildOwnership statically assigns tiles to nodes: slab work along
+// the load-balancing dimensions is accumulated in priority-lexicographic
+// order and cut into equal-work contiguous ranges (Section IV-J).
+func dpBuildOwnership(nodes int) (owner map[[dpDims]int64]int, ownedTotal []int64, initial [][dpDims]int64, totalWork int64) {
+	work := map[[dpDims]int64]int64{}
+	var keys [][dpDims]int64
+	dpForEachTile(func(t [dpDims]int64) bool {
+		k := dpLBKeyOf(&t)
+		if _, ok := work[k]; !ok {
+			keys = append(keys, k)
+		}
+		work[k] += dpTileCellCount(&t)
+		return true
+	})
+	sort.Slice(keys, func(a, b int) bool {
+		for i := 0; i < dpNumLB; i++ {
+			if keys[a][i] != keys[b][i] {
+				return keys[a][i] < keys[b][i]
+			}
+		}
+		return false
+	})
+	for _, k := range keys {
+		totalWork += work[k]
+	}
+	owner = make(map[[dpDims]int64]int, len(keys))
+	var cum int64
+	for _, k := range keys {
+		mid := cum + work[k]/2
+		n := int(mid * int64(nodes) / totalWork)
+		if n >= nodes {
+			n = nodes - 1
+		}
+		owner[k] = n
+		cum += work[k]
+	}
+	ownedTotal = make([]int64, nodes)
+	dpForEachTile(func(t [dpDims]int64) bool {
+		ownedTotal[owner[dpLBKeyOf(&t)]]++
+		if dpDepCount(&t) == 0 {
+			initial = append(initial, t)
+		}
+		return true
+	})
+	return owner, ownedTotal, initial, totalWork
+}
+
+// ---- scheduler data structures (Section V-B) ----
+
+type dpEdgeMsg struct {
+	dep  int
+	data []dpElem
+}
+
+type dpMsg struct {
+	dep      int
+	consumer [dpDims]int64
+	data     []dpElem
+	slot     chan struct{}
+}
+
+type dpPend struct {
+	tile      [dpDims]int64
+	remaining int
+	edges     []dpEdgeMsg
+	key       [dpDims]int64
+	seq       int64
+	index     int
+}
+
+type dpHeap []*dpPend
+
+func (h dpHeap) Len() int { return len(h) }
+func (h dpHeap) Less(a, b int) bool {
+	x, y := h[a], h[b]
+	for k := 0; k < dpDims; k++ {
+		if x.key[k] != y.key[k] {
+			return x.key[k] < y.key[k]
+		}
+	}
+	return x.seq < y.seq
+}
+func (h dpHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index = a
+	h[b].index = b
+}
+func (h *dpHeap) Push(v interface{}) {
+	p := v.(*dpPend)
+	p.index = len(*h)
+	*h = append(*h, p)
+}
+func (h *dpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}
+
+type dpNode struct {
+	id      int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[[dpDims]int64]*dpPend
+	ready   dpHeap
+	done    bool
+	seq     int64
+
+	owned    int64
+	executed int64
+
+	inbox chan dpMsg
+	slots chan struct{}
+
+	tiles, cells, sentRemote, recvRemote, localEdges int64
+	peakEdges, liveEdges                             int64
+}
+
+type dpGlobal struct {
+	owner map[[dpDims]int64]int
+	nodes []*dpNode
+	wg    sync.WaitGroup
+
+	goalMu  sync.Mutex
+	goalVal dpElem
+	goalSet bool
+	maxVal  dpElem
+	maxSet  bool
+}
+
+func (n *dpNode) worker(g *dpGlobal) {
+	V := make([]dpElem, dpAllocLen)
+	for {
+		n.mu.Lock()
+		for n.ready.Len() == 0 && !n.done {
+			n.cond.Wait()
+		}
+		if n.ready.Len() == 0 {
+			n.mu.Unlock()
+			return
+		}
+		p := heap.Pop(&n.ready).(*dpPend)
+		n.mu.Unlock()
+		n.exec(g, p, V)
+	}
+}
+
+func (n *dpNode) receiver(g *dpGlobal) {
+	for m := range n.inbox {
+		n.mu.Lock()
+		n.recvRemote++
+		n.mu.Unlock()
+		n.deliver(m.dep, m.consumer, m.data)
+		<-m.slot // release the sender's send buffer
+	}
+}
+
+func (n *dpNode) deliver(dep int, consumer [dpDims]int64, data []dpElem) {
+	n.mu.Lock()
+	p := n.pending[consumer]
+	if p == nil {
+		p = &dpPend{tile: consumer, remaining: dpDepCount(&consumer)}
+		n.pending[consumer] = p
+	}
+	p.edges = append(p.edges, dpEdgeMsg{dep: dep, data: data})
+	p.remaining--
+	n.liveEdges++
+	if n.liveEdges > n.peakEdges {
+		n.peakEdges = n.liveEdges
+	}
+	if p.remaining == 0 {
+		delete(n.pending, consumer)
+		p.seq = n.seq
+		n.seq++
+		p.key = dpKeyOf(&p.tile)
+		heap.Push(&n.ready, p)
+		n.cond.Signal()
+	}
+	n.mu.Unlock()
+}
+
+func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
+	// Unpack received edges into the ghost shell.
+	for _, ed := range p.edges {
+		var prod [dpDims]int64
+		for k := 0; k < dpDims; k++ {
+			prod[k] = p.tile[k] + dpTileDepOffsets[ed.dep][k]
+		}
+		dpUnpackEdge(ed.dep, &prod, V, ed.data)
+	}
+	nEdges := int64(len(p.edges))
+	p.edges = nil
+
+	cells, tmax := dpExecTile(&p.tile, V)
+
+	g.goalMu.Lock()
+	if p.tile == dpGoalTile {
+		g.goalVal = V[dpGoalLocIndex]
+		g.goalSet = true
+	}
+	if cells > 0 && (!g.maxSet || tmax > g.maxVal) {
+		g.maxVal = tmax
+		g.maxSet = true
+	}
+	g.goalMu.Unlock()
+
+	// Pack and ship the outgoing edges.
+	var localDelivered, sent int64
+	for j := 0; j < dpNumTileDeps; j++ {
+		var consumer [dpDims]int64
+		for k := 0; k < dpDims; k++ {
+			consumer[k] = p.tile[k] - dpTileDepOffsets[j][k]
+		}
+		if !dpTileInSpace(&consumer) {
+			continue
+		}
+		data := dpPackEdge(j, &p.tile, V, nil)
+		dst := g.owner[dpLBKeyOf(&consumer)]
+		if dst == n.id {
+			n.deliver(j, consumer, data)
+			localDelivered++
+		} else {
+			n.slots <- struct{}{}
+			g.nodes[dst].inbox <- dpMsg{dep: j, consumer: consumer, data: data, slot: n.slots}
+			sent++
+		}
+	}
+
+	n.mu.Lock()
+	n.liveEdges -= nEdges
+	n.tiles++
+	n.cells += cells
+	n.localEdges += localDelivered
+	n.sentRemote += sent
+	n.executed++
+	finished := n.executed == n.owned
+	n.mu.Unlock()
+	if finished {
+		g.wg.Done()
+	}
+}
+
+func main() {
+	dpRegisterFlags()
+	flag.Parse()
+	dpUserInit()
+	nodes, threads := *flagNodes, *flagThreads
+	if nodes < 1 || threads < 1 || *flagSendBufs < 1 || *flagRecvBufs < 1 {
+		fmt.Fprintln(os.Stderr, "invalid -nodes/-threads/-sendbufs/-recvbufs")
+		os.Exit(2)
+	}
+	start := time.Now()
+	owner, ownedTotal, initial, totalWork := dpBuildOwnership(nodes)
+	if len(initial) == 0 {
+		fmt.Fprintln(os.Stderr, "no initial tiles: empty space or cyclic dependencies")
+		os.Exit(1)
+	}
+	g := &dpGlobal{owner: owner, nodes: make([]*dpNode, nodes)}
+	for i := range g.nodes {
+		n := &dpNode{
+			id:      i,
+			pending: make(map[[dpDims]int64]*dpPend),
+			inbox:   make(chan dpMsg, *flagRecvBufs),
+			slots:   make(chan struct{}, *flagSendBufs),
+			owned:   ownedTotal[i],
+		}
+		n.cond = sync.NewCond(&n.mu)
+		g.nodes[i] = n
+	}
+	for idx := range initial {
+		t := initial[idx]
+		n := g.nodes[owner[dpLBKeyOf(&t)]]
+		p := &dpPend{tile: t, seq: n.seq, key: dpKeyOf(&t)}
+		n.seq++
+		heap.Push(&n.ready, p)
+	}
+	initSecs := time.Since(start).Seconds()
+
+	g.wg.Add(nodes)
+	var workers, receivers sync.WaitGroup
+	for _, n := range g.nodes {
+		if n.owned == 0 {
+			g.wg.Done()
+		}
+		receivers.Add(1)
+		go func(n *dpNode) {
+			defer receivers.Done()
+			n.receiver(g)
+		}(n)
+		for w := 0; w < threads; w++ {
+			workers.Add(1)
+			go func(n *dpNode) {
+				defer workers.Done()
+				n.worker(g)
+			}(n)
+		}
+	}
+	g.wg.Wait()
+	for _, n := range g.nodes {
+		close(n.inbox)
+	}
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		n.done = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+	workers.Wait()
+	receivers.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	if !g.goalSet {
+		fmt.Fprintln(os.Stderr, "goal tile never executed")
+		os.Exit(1)
+	}
+	fmt.Printf("problem %s\n", dpProblemName)
+	fmt.Printf("value %.17g\n", float64(g.goalVal))
+	fmt.Printf("max %.17g\n", float64(g.maxVal))
+	fmt.Printf("locations %d\n", totalWork)
+	fmt.Printf("init_seconds %.6f\n", initSecs)
+	fmt.Printf("total_seconds %.6f\n", elapsed)
+	if *flagStats {
+		for _, n := range g.nodes {
+			fmt.Printf("node %d tiles %d cells %d sent %d recv %d local %d peak_edges %d\n",
+				n.id, n.tiles, n.cells, n.sentRemote, n.recvRemote, n.localEdges, n.peakEdges)
+		}
+	}
+}
+`

@@ -1,0 +1,182 @@
+// Package ehrhart reconstructs Ehrhart quasi-polynomials — polynomials
+// that count the integer points of a parametric polytope as a function of
+// its size parameter (Clauss; used by the paper via the Barvinok
+// library). The paper computes two such polynomials for load balancing:
+// the total work of the problem and the work of the tile slabs with fixed
+// load-balancing indices.
+//
+// This implementation substitutes exact counting plus rational
+// interpolation for Barvinok's generating-function algorithm: for a
+// polytope with one size parameter N, the count is a quasi-polynomial of
+// degree d (the dimension) and period L dividing the lcm of the loop-
+// bound divisors; sampling d+1 counts per residue class determines the
+// polynomial exactly, and extra samples verify it.
+package ehrhart
+
+import (
+	"fmt"
+	"math/big"
+
+	"dpgen/internal/ints"
+	"dpgen/internal/loopgen"
+)
+
+// QuasiPoly is a univariate quasi-polynomial: for N with residue r =
+// N mod Period, the value is sum_k Coeffs[r][k] * N^k.
+type QuasiPoly struct {
+	Period int64
+	Degree int
+	Coeffs [][]*big.Rat // [Period][Degree+1]
+}
+
+// Eval evaluates the quasi-polynomial at N. It panics if the value is not
+// an integer (which would indicate a reconstruction bug).
+func (q *QuasiPoly) Eval(N int64) int64 {
+	r := ((N % q.Period) + q.Period) % q.Period
+	acc := new(big.Rat)
+	pow := new(big.Rat).SetInt64(1)
+	bigN := new(big.Rat).SetInt64(N)
+	term := new(big.Rat)
+	for k := 0; k <= q.Degree; k++ {
+		term.Mul(q.Coeffs[r][k], pow)
+		acc.Add(acc, term)
+		pow.Mul(pow, bigN)
+	}
+	if !acc.IsInt() {
+		panic(fmt.Sprintf("ehrhart: non-integral value %v at N=%d", acc, N))
+	}
+	return acc.Num().Int64()
+}
+
+// String renders the residue-0 polynomial (and notes the period).
+func (q *QuasiPoly) String() string {
+	s := ""
+	for k := q.Degree; k >= 0; k-- {
+		c := q.Coeffs[0][k]
+		if c.Sign() == 0 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		switch k {
+		case 0:
+			s += c.RatString()
+		case 1:
+			s += c.RatString() + "*N"
+		default:
+			s += fmt.Sprintf("%s*N^%d", c.RatString(), k)
+		}
+	}
+	if s == "" {
+		s = "0"
+	}
+	if q.Period > 1 {
+		s += fmt.Sprintf(" (period %d)", q.Period)
+	}
+	return s
+}
+
+// Options tunes interpolation.
+type Options struct {
+	// MinN is the smallest parameter value at which the quasi-polynomial
+	// must already be exact. Samples are taken at and above it.
+	// Default 0.
+	MinN int64
+	// Verify is the number of extra samples (per residue) checked against
+	// the reconstruction. Default 2.
+	Verify int
+}
+
+// Interpolate reconstructs the Ehrhart quasi-polynomial of the nest's
+// point count. The nest's space must have exactly one parameter.
+func Interpolate(nest *loopgen.Nest, opts Options) (*QuasiPoly, error) {
+	if nest.Space().NumParams() != 1 {
+		return nil, fmt.Errorf("ehrhart: need exactly 1 parameter, have %d", nest.Space().NumParams())
+	}
+	verify := opts.Verify
+	if verify == 0 {
+		verify = 2
+	}
+	period := int64(1)
+	for _, d := range nest.Divisors() {
+		period = ints.LCM(period, d)
+	}
+	deg := len(nest.Levels)
+	q := &QuasiPoly{Period: period, Degree: deg, Coeffs: make([][]*big.Rat, period)}
+	for r := int64(0); r < period; r++ {
+		// Sample deg+1 points N = base + j*period in this residue class.
+		base := opts.MinN + ((r-opts.MinN)%period+period)%period
+		xs := make([]int64, deg+1)
+		ys := make([]int64, deg+1)
+		for j := 0; j <= deg; j++ {
+			xs[j] = base + int64(j)*period
+			ys[j] = nest.Count([]int64{xs[j]})
+		}
+		coeffs, err := polyFit(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		q.Coeffs[r] = coeffs
+		// Verification samples beyond the fitting window.
+		for j := deg + 1; j <= deg+verify; j++ {
+			N := base + int64(j)*period
+			if got, want := q.Eval(N), nest.Count([]int64{N}); got != want {
+				return nil, fmt.Errorf("ehrhart: verification failed at N=%d: poly=%d count=%d", N, got, want)
+			}
+		}
+	}
+	return q, nil
+}
+
+// polyFit solves the Vandermonde system for coefficients of the unique
+// polynomial of degree len(xs)-1 through the points (xs[i], ys[i]).
+func polyFit(xs, ys []int64) ([]*big.Rat, error) {
+	n := len(xs)
+	// Build augmented matrix [V | y].
+	m := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]*big.Rat, n+1)
+		pow := new(big.Rat).SetInt64(1)
+		x := new(big.Rat).SetInt64(xs[i])
+		for k := 0; k < n; k++ {
+			m[i][k] = new(big.Rat).Set(pow)
+			pow = new(big.Rat).Mul(pow, x)
+		}
+		m[i][n] = new(big.Rat).SetInt64(ys[i])
+	}
+	// Gaussian elimination with partial (first nonzero) pivoting.
+	for col := 0; col < n; col++ {
+		p := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("ehrhart: singular Vandermonde system (duplicate sample points?)")
+		}
+		m[col], m[p] = m[p], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for k := col; k <= n; k++ {
+			m[col][k].Mul(m[col][k], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			tmp := new(big.Rat)
+			for k := col; k <= n; k++ {
+				tmp.Mul(m[col][k], f)
+				m[r][k].Sub(m[r][k], tmp)
+			}
+		}
+	}
+	out := make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n]
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package ehrhart
+
+import (
+	"math/big"
+	"testing"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+)
+
+func simplexNest(t *testing.T, d int) *loopgen.Nest {
+	t.Helper()
+	vars := make([]string, d)
+	for i := range vars {
+		vars[i] = string(rune('a' + i))
+	}
+	s := lin.MustSpace([]string{"N"}, vars)
+	sys := lin.NewSystem(s)
+	sum := lin.Zero(s)
+	for _, v := range vars {
+		sys.AddGE(lin.Var(s, v), lin.Zero(s))
+		sum = sum.Add(lin.Var(s, v))
+	}
+	sys.AddLE(sum, lin.Var(s, "N"))
+	n, err := loopgen.Build(sys, vars, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// binom computes C(n+d, d).
+func binom(n int64, d int) int64 {
+	num, den := int64(1), int64(1)
+	for i := 1; i <= d; i++ {
+		num *= n + int64(i)
+		den *= int64(i)
+	}
+	return num / den
+}
+
+func TestInterpolateSimplex(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		nest := simplexNest(t, d)
+		q, err := Interpolate(nest, Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if q.Period != 1 {
+			t.Errorf("d=%d: period = %d, want 1", d, q.Period)
+		}
+		for _, N := range []int64{0, 1, 2, 7, 20, 50, 1000} {
+			if got, want := q.Eval(N), binom(N, d); got != want {
+				t.Errorf("d=%d N=%d: Eval=%d want=%d", d, N, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpolateLeadingCoefficient(t *testing.T) {
+	// Volume of the standard 4-simplex is 1/24: leading Ehrhart
+	// coefficient of the bandit-style space.
+	nest := simplexNest(t, 4)
+	q, err := Interpolate(nest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Coeffs[0][4].Cmp(big.NewRat(1, 24)) != 0 {
+		t.Errorf("leading coeff = %v, want 1/24", q.Coeffs[0][4])
+	}
+}
+
+func TestInterpolatePeriodic(t *testing.T) {
+	// 0 <= 2x <= N: count floor(N/2)+1, quasi-polynomial with period 2.
+	s := lin.MustSpace([]string{"N"}, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Term(s, 2, "x"), lin.Var(s, "N"))
+	nest, err := loopgen.Build(sys, []string{"x"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Interpolate(nest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Period != 2 {
+		t.Fatalf("period = %d, want 2", q.Period)
+	}
+	for N := int64(0); N <= 21; N++ {
+		if got, want := q.Eval(N), N/2+1; got != want {
+			t.Errorf("N=%d: Eval=%d want=%d", N, got, want)
+		}
+	}
+}
+
+func TestInterpolateTiledSpace(t *testing.T) {
+	// A tiled 1-D space: 0 <= x <= N, x = i + 6t, 0 <= i <= 5; tile count
+	// is floor(N/6)+1, period 6 — the shape the load balancer sees.
+	s := lin.MustSpace([]string{"N"}, []string{"t"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "t"), lin.Zero(s))
+	sys.AddLE(lin.Term(s, 6, "t"), lin.Var(s, "N"))
+	nest, err := loopgen.Build(sys, []string{"t"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Interpolate(nest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for N := int64(0); N <= 40; N++ {
+		if got, want := q.Eval(N), N/6+1; got != want {
+			t.Errorf("N=%d: Eval=%d want=%d", N, got, want)
+		}
+	}
+}
+
+func TestInterpolateRejectsMultiParam(t *testing.T) {
+	s := lin.MustSpace([]string{"N", "M"}, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "N"))
+	nest, err := loopgen.Build(sys, []string{"x"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Interpolate(nest, Options{}); err == nil {
+		t.Error("multi-parameter interpolation should fail")
+	}
+}
+
+func TestEvalNegativeResidue(t *testing.T) {
+	// Eval must handle N < 0 residues without panicking (counts there are
+	// extrapolations; we only check it does not crash and stays integral).
+	nest := simplexNest(t, 2)
+	q, err := Interpolate(nest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q.Eval(-3)
+}
+
+func TestStringForm(t *testing.T) {
+	nest := simplexNest(t, 2)
+	q, err := Interpolate(nest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.String()
+	// (N+1)(N+2)/2 = 1/2 N^2 + 3/2 N + 1
+	if got != "1/2*N^2 + 3/2*N + 1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPolyFitExactness(t *testing.T) {
+	// Fit x^2 - 3x + 2 through 3 points.
+	xs := []int64{0, 1, 2}
+	ys := []int64{2, 0, 0}
+	c, err := polyFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*big.Rat{big.NewRat(2, 1), big.NewRat(-3, 1), big.NewRat(1, 1)}
+	for i := range want {
+		if c[i].Cmp(want[i]) != 0 {
+			t.Errorf("coeff[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitDuplicatePoints(t *testing.T) {
+	if _, err := polyFit([]int64{1, 1}, []int64{2, 2}); err == nil {
+		t.Error("duplicate sample points should fail")
+	}
+}

@@ -1,0 +1,264 @@
+package ehrhart
+
+import (
+	"fmt"
+	"math/big"
+
+	"dpgen/internal/ints"
+	"dpgen/internal/loopgen"
+)
+
+// MultiPoly is a multivariate quasi-polynomial in p parameters: for a
+// parameter vector q with residues r_i = q_i mod Period, the value is
+// the total-degree-bounded polynomial whose coefficients are stored per
+// residue class.
+//
+// The reconstruction assumes the counting function is a single
+// quasi-polynomial over the sampled region (one "chamber" in Barvinok
+// terms). That holds for box-like spaces (every sequence problem here)
+// but not for counts like |{x : 0 <= x <= min(N, M)}|; InterpolateMulti
+// verifies with held-out samples and reports an error in such cases
+// rather than returning a wrong polynomial.
+type MultiPoly struct {
+	Params int
+	Period int64
+	Degree int
+	// Exps lists the monomial exponent vectors (total degree <= Degree).
+	Exps [][]int
+	// Coeffs[residueKey][m] is the coefficient of monomial Exps[m].
+	Coeffs map[string][]*big.Rat
+}
+
+// Eval evaluates the quasi-polynomial at the parameter vector q,
+// panicking if the value is not integral.
+func (m *MultiPoly) Eval(q []int64) int64 {
+	if len(q) != m.Params {
+		panic(fmt.Sprintf("ehrhart: Eval with %d params, want %d", len(q), m.Params))
+	}
+	coeffs, ok := m.Coeffs[m.residueKey(q)]
+	if !ok {
+		panic(fmt.Sprintf("ehrhart: missing residue class for %v", q))
+	}
+	acc := new(big.Rat)
+	term := new(big.Rat)
+	for mi, exp := range m.Exps {
+		if coeffs[mi].Sign() == 0 {
+			continue
+		}
+		term.Set(coeffs[mi])
+		for i, e := range exp {
+			for k := 0; k < e; k++ {
+				term.Mul(term, new(big.Rat).SetInt64(q[i]))
+			}
+		}
+		acc.Add(acc, term)
+	}
+	if !acc.IsInt() {
+		panic(fmt.Sprintf("ehrhart: non-integral value %v at %v", acc, q))
+	}
+	return acc.Num().Int64()
+}
+
+func (m *MultiPoly) residueKey(q []int64) string {
+	out := make([]byte, 0, 2*len(q))
+	for _, v := range q {
+		r := ((v % m.Period) + m.Period) % m.Period
+		out = appendI64(out, r)
+		out = append(out, ',')
+	}
+	return string(out)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// maxResidueClasses caps Period^Params, the number of independent
+// interpolations.
+const maxResidueClasses = 4096
+
+// InterpolateMulti reconstructs the multivariate Ehrhart
+// quasi-polynomial of a nest with any number of parameters. opts.MinN
+// is the smallest parameter value sampled (per coordinate); opts.Verify
+// extra diagonal layers check the fit.
+func InterpolateMulti(nest *loopgen.Nest, opts Options) (*MultiPoly, error) {
+	p := nest.Space().NumParams()
+	if p < 1 {
+		return nil, fmt.Errorf("ehrhart: nest has no parameters")
+	}
+	verify := opts.Verify
+	if verify == 0 {
+		verify = 2
+	}
+	period := int64(1)
+	for _, d := range nest.Divisors() {
+		period = ints.LCM(period, d)
+	}
+	classes := int64(1)
+	for i := 0; i < p; i++ {
+		classes *= period
+		if classes > maxResidueClasses {
+			return nil, fmt.Errorf("ehrhart: %d^%d residue classes exceed the cap %d", period, p, maxResidueClasses)
+		}
+	}
+	deg := len(nest.Levels)
+	exps := monomials(p, deg)
+
+	m := &MultiPoly{
+		Params: p,
+		Period: period,
+		Degree: deg,
+		Exps:   exps,
+		Coeffs: make(map[string][]*big.Rat, classes),
+	}
+
+	// The principal lattice {j >= 0 : sum j <= deg} is poised for
+	// total-degree interpolation; scale by the period per class.
+	samples := principalLattice(p, deg)
+
+	residue := make([]int64, p)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == p {
+			return m.fitClass(nest, residue, samples, opts.MinN)
+		}
+		for r := int64(0); r < period; r++ {
+			residue[i] = r
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+
+	// Held-out verification on diagonal layers beyond the fitting region.
+	q := make([]int64, p)
+	for layer := 1; layer <= verify; layer++ {
+		for i := range q {
+			q[i] = opts.MinN + period*int64(deg+layer) + int64(i)*period
+		}
+		if got, want := m.Eval(q), nest.Count(q); got != want {
+			return nil, fmt.Errorf("ehrhart: verification failed at %v: poly=%d count=%d (multiple chambers?)", q, got, want)
+		}
+		// An asymmetric probe.
+		q[0] += period * int64(layer)
+		if got, want := m.Eval(q), nest.Count(q); got != want {
+			return nil, fmt.Errorf("ehrhart: verification failed at %v: poly=%d count=%d (multiple chambers?)", q, got, want)
+		}
+	}
+	return m, nil
+}
+
+// fitClass solves for one residue class's coefficients.
+func (m *MultiPoly) fitClass(nest *loopgen.Nest, residue []int64, samples [][]int, minN int64) error {
+	p, n := m.Params, len(m.Exps)
+	mat := make([][]*big.Rat, n)
+	q := make([]int64, p)
+	for row, j := range samples {
+		// Parameter point: residue + period * (base + j).
+		for i := 0; i < p; i++ {
+			base := ints.CeilDiv(minN-residue[i], m.Period)
+			if base < 0 {
+				base = 0
+			}
+			q[i] = residue[i] + m.Period*(base+int64(j[i]))
+		}
+		mat[row] = make([]*big.Rat, n+1)
+		for col, exp := range m.Exps {
+			v := big.NewRat(1, 1)
+			for i, e := range exp {
+				for k := 0; k < e; k++ {
+					v.Mul(v, new(big.Rat).SetInt64(q[i]))
+				}
+			}
+			mat[row][col] = v
+		}
+		mat[row][n] = new(big.Rat).SetInt64(nest.Count(q))
+	}
+	coeffs, err := solve(mat)
+	if err != nil {
+		return fmt.Errorf("ehrhart: residue %v: %w", residue, err)
+	}
+	key := m.residueKey(residueAsParams(residue))
+	m.Coeffs[key] = coeffs
+	return nil
+}
+
+func residueAsParams(r []int64) []int64 { return r }
+
+// monomials enumerates exponent vectors of total degree <= deg over p
+// variables, in a deterministic order.
+func monomials(p, deg int) [][]int {
+	var out [][]int
+	cur := make([]int, p)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == p {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for e := 0; e <= left; e++ {
+			cur[i] = e
+			rec(i+1, left-e)
+		}
+		cur[i] = 0
+	}
+	rec(0, deg)
+	return out
+}
+
+// principalLattice enumerates {j >= 0 : sum j <= deg} in the same count
+// and order as monomials.
+func principalLattice(p, deg int) [][]int { return monomials(p, deg) }
+
+// solve performs exact Gaussian elimination on the n x (n+1) augmented
+// system.
+func solve(m [][]*big.Rat) ([]*big.Rat, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, fmt.Errorf("singular interpolation system")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for k := col; k <= n; k++ {
+			m[col][k].Mul(m[col][k], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			tmp := new(big.Rat)
+			for k := col; k <= n; k++ {
+				tmp.Mul(m[col][k], f)
+				m[r][k].Sub(m[r][k], tmp)
+			}
+		}
+	}
+	out := make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n]
+	}
+	return out, nil
+}

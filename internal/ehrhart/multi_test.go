@@ -1,0 +1,173 @@
+package ehrhart
+
+import (
+	"testing"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+)
+
+// boxNest builds the p-parameter box 0 <= x_i <= P_i.
+func boxNest(t *testing.T, p int) *loopgen.Nest {
+	t.Helper()
+	params := make([]string, p)
+	vars := make([]string, p)
+	for i := range params {
+		params[i] = "P" + string(rune('1'+i))
+		vars[i] = "x" + string(rune('1'+i))
+	}
+	s := lin.MustSpace(params, vars)
+	sys := lin.NewSystem(s)
+	for i := range vars {
+		sys.AddGE(lin.Var(s, vars[i]), lin.Zero(s))
+		sys.AddLE(lin.Var(s, vars[i]), lin.Var(s, params[i]))
+	}
+	n, err := loopgen.Build(sys, vars, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestInterpolateMultiBox2(t *testing.T) {
+	n := boxNest(t, 2)
+	m, err := InterpolateMulti(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]int64{{0, 0}, {1, 5}, {7, 3}, {20, 40}, {100, 1}} {
+		if got, want := m.Eval(q), (q[0]+1)*(q[1]+1); got != want {
+			t.Errorf("Eval(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestInterpolateMultiBox3(t *testing.T) {
+	n := boxNest(t, 3)
+	m, err := InterpolateMulti(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]int64{{2, 3, 4}, {10, 1, 7}, {25, 25, 25}} {
+		want := (q[0] + 1) * (q[1] + 1) * (q[2] + 1)
+		if got := m.Eval(q); got != want {
+			t.Errorf("Eval(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestInterpolateMultiMixedConstraint(t *testing.T) {
+	// 0 <= x <= P1, 0 <= y <= P2, x + y <= P1 + P2 (redundant sum keeps
+	// one chamber): count (P1+1)(P2+1).
+	s := lin.MustSpace([]string{"P1", "P2"}, []string{"x", "y"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "P1"))
+	sys.AddGE(lin.Var(s, "y"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "y"), lin.Var(s, "P2"))
+	n, err := loopgen.Build(sys, []string{"x", "y"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := InterpolateMulti(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Eval([]int64{9, 13}); got != 140 {
+		t.Errorf("got %d, want 140", got)
+	}
+}
+
+func TestInterpolateMultiPeriodic(t *testing.T) {
+	// 0 <= 2x <= P1, 0 <= y <= P2: count (floor(P1/2)+1)(P2+1), period 2.
+	s := lin.MustSpace([]string{"P1", "P2"}, []string{"x", "y"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Term(s, 2, "x"), lin.Var(s, "P1"))
+	sys.AddGE(lin.Var(s, "y"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "y"), lin.Var(s, "P2"))
+	n, err := loopgen.Build(sys, []string{"x", "y"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := InterpolateMulti(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Period != 2 {
+		t.Fatalf("period = %d, want 2", m.Period)
+	}
+	for p1 := int64(0); p1 <= 9; p1++ {
+		for p2 := int64(0); p2 <= 5; p2++ {
+			want := (p1/2 + 1) * (p2 + 1)
+			if got := m.Eval([]int64{p1, p2}); got != want {
+				t.Errorf("Eval(%d,%d) = %d, want %d", p1, p2, got, want)
+			}
+		}
+	}
+}
+
+func TestInterpolateMultiDetectsChambers(t *testing.T) {
+	// 0 <= x <= P1 and x <= P2: count min(P1,P2)+1 — piecewise, so the
+	// verification must reject the fit.
+	s := lin.MustSpace([]string{"P1", "P2"}, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "P1"))
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "P2"))
+	n, err := loopgen.Build(sys, []string{"x"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InterpolateMulti(n, Options{}); err == nil {
+		t.Error("chambered count should fail verification")
+	}
+}
+
+func TestInterpolateMultiMatchesUnivariate(t *testing.T) {
+	// For a 1-parameter nest, the multivariate path must agree with the
+	// univariate interpolation.
+	s := lin.MustSpace([]string{"N"}, []string{"a", "b"})
+	sys := lin.NewSystem(s)
+	sum := lin.Var(s, "a").Add(lin.Var(s, "b"))
+	sys.AddGE(lin.Var(s, "a"), lin.Zero(s))
+	sys.AddGE(lin.Var(s, "b"), lin.Zero(s))
+	sys.AddLE(sum, lin.Var(s, "N"))
+	n, err := loopgen.Build(sys, []string{"a", "b"}, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Interpolate(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := InterpolateMulti(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for N := int64(0); N <= 30; N++ {
+		if uni.Eval(N) != multi.Eval([]int64{N}) {
+			t.Errorf("N=%d: uni %d != multi %d", N, uni.Eval(N), multi.Eval([]int64{N}))
+		}
+	}
+}
+
+func TestInterpolateMultiResidueCap(t *testing.T) {
+	// Period 7 over 5 parameters exceeds the residue-class cap.
+	params := []string{"P1", "P2", "P3", "P4", "P5"}
+	vars := []string{"x1", "x2", "x3", "x4", "x5"}
+	s := lin.MustSpace(params, vars)
+	sys := lin.NewSystem(s)
+	for i := range vars {
+		sys.AddGE(lin.Var(s, vars[i]), lin.Zero(s))
+		sys.AddLE(lin.Term(s, 7, vars[i]), lin.Var(s, params[i]))
+	}
+	n, err := loopgen.Build(sys, vars, fm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InterpolateMulti(n, Options{}); err == nil {
+		t.Error("residue explosion should be rejected")
+	}
+}

@@ -1,0 +1,705 @@
+// Package engine is the hybrid runtime of the generated programs
+// (Section V of the paper), with goroutine worker pools standing in for
+// OpenMP threads and dpgen/internal/mpi standing in for MPI ranks.
+//
+// Each simulated node owns a set of tiles (static load balancing,
+// Section IV-J), a table of pending tiles holding only packed edge data,
+// and a priority queue of ready tiles. Worker goroutines loop: pop the
+// highest-priority ready tile, unpack its edges into a per-worker tile
+// buffer with a ghost-cell shell, run the user kernel over the tile's
+// cells in dependence order, pack the outgoing edges, and deliver them
+// locally or send them to the owning rank. A receiver goroutine per node
+// plays the role of the paper's "poll for incoming edges" step.
+//
+// Only tiles in execution have full buffers; tiles awaiting execution
+// hold just their edges, giving the O(n^{d-1}) memory behaviour of
+// Section V-B. Cell values are bit-identical for every node count,
+// thread count and priority policy, because each cell is computed exactly
+// once from fully determined inputs.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/mpi"
+	"dpgen/internal/tiling"
+)
+
+// Config controls a run. Zero values select the defaults noted.
+type Config struct {
+	Nodes    int // simulated MPI ranks (default 1)
+	Threads  int // workers per node, the OpenMP analog (default 1)
+	SendBufs int // send buffers per rank (default 4)
+	RecvBufs int // receive buffers per rank (default 16)
+	// PollingRecv replaces each node's receiver goroutine with the
+	// paper's polling progress model (Section V-A step 6): workers probe
+	// the MPI inbox between tiles and while blocked in sends. The
+	// default (false) uses a dedicated receiver goroutine per node.
+	PollingRecv bool
+	// QueueGroups splits each node's ready queue into this many separate
+	// priority queues, each served primarily by its own subset of
+	// workers (workers steal from other groups only when their own is
+	// empty) — the Section VII-C proposal for reducing shared-structure
+	// contention on large nodes. Clamped to Threads; default 1.
+	QueueGroups int
+	Priority    Priority
+	Balance     balance.Method
+	// OnCell, if set, is invoked for every computed cell with the global
+	// coordinates and the computed value. Called concurrently from
+	// workers; the coordinate slice must not be retained.
+	OnCell func(x []int64, v float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.SendBufs == 0 {
+		c.SendBufs = 4
+	}
+	if c.RecvBufs == 0 {
+		c.RecvBufs = 16
+	}
+	if c.QueueGroups < 1 {
+		c.QueueGroups = 1
+	}
+	if c.QueueGroups > c.Threads {
+		c.QueueGroups = c.Threads
+	}
+	return c
+}
+
+// NodeStats are per-node runtime counters.
+type NodeStats struct {
+	TilesExecuted int64
+	CellsComputed int64
+	// EdgesSentRemote / EdgesRecvRemote count MPI edge messages;
+	// EdgesLocal counts same-node deliveries.
+	EdgesSentRemote int64
+	EdgesRecvRemote int64
+	EdgesLocal      int64
+	// PeakPendingEdges is the maximum number of packed edges buffered at
+	// once (the Figure 4 quantity); PeakBufferedElems the same in
+	// float64 elements.
+	PeakPendingEdges  int64
+	PeakBufferedElems int64
+	// PeakPendingTiles is the maximum size of the pending table plus
+	// ready queue.
+	PeakPendingTiles int64
+	// IdleTime is total worker time spent waiting for ready tiles.
+	IdleTime time.Duration
+	// Steals counts tiles taken from another queue group (only nonzero
+	// with Config.QueueGroups > 1).
+	Steals int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Value is the state value at the spec's goal location.
+	Value float64
+	// Max is the maximum state value over the whole iteration space —
+	// the answer for problems like local sequence alignment whose
+	// optimum is not anchored at a fixed location. NaN when no cells
+	// were computed.
+	Max float64
+	// Stats has one entry per node.
+	Stats []NodeStats
+	// Messages and Elems are communicator totals.
+	Messages, Elems int64
+	// BalanceTime is the load-balancing cost (Section IV-J; the paper
+	// evaluates precomputed Ehrhart polynomials here, we count directly).
+	// InitTime is the serial initial-tile generation scan of Section
+	// IV-K. TotalTime covers the whole run.
+	BalanceTime, InitTime, TotalTime time.Duration
+	// Assignment records per-node work for balance diagnostics.
+	Work []int64
+}
+
+type engine struct {
+	tl     *tiling.Tiling
+	kernel Kernel
+	params []int64
+	cfg    Config
+	assign *balance.Assignment
+	comm   *mpi.Comm
+
+	keyDims   []int // priority key dimension order (var indexes)
+	goalTile  []int64
+	goalLocal []int64
+
+	goalMu  sync.Mutex
+	goalVal float64
+	goalSet bool
+	maxVal  float64
+	maxSet  bool
+
+	finished sync.WaitGroup // one per node: all owned tiles executed
+}
+
+// Run executes the problem described by tl with the given kernel and
+// parameter values.
+func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if kernel == nil {
+		return nil, fmt.Errorf("engine: nil kernel")
+	}
+	if len(params) != len(tl.Spec.Params) {
+		return nil, fmt.Errorf("engine: got %d params, spec has %d", len(params), len(tl.Spec.Params))
+	}
+	goal := tl.Spec.GoalPoint()
+	goalVals := append(append([]int64{}, params...), goal...)
+	if !tl.Spec.System().Contains(goalVals) {
+		return nil, fmt.Errorf("engine: goal %v outside the iteration space for params %v", goal, params)
+	}
+
+	start := time.Now()
+	assign, err := balance.Build(tl, params, cfg.Nodes, cfg.Balance)
+	if err != nil {
+		return nil, err
+	}
+	balanceTime := time.Since(start)
+	comm, err := mpi.NewComm(cfg.Nodes, cfg.SendBufs, cfg.RecvBufs)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		tl:     tl,
+		kernel: kernel,
+		params: append([]int64(nil), params...),
+		cfg:    cfg,
+		assign: assign,
+		comm:   comm,
+	}
+	e.goalTile, e.goalLocal = tl.GoalTile()
+	e.buildKeyDims()
+
+	// Serial initialization (Section IV-K): owned-tile totals come from
+	// the balancer's per-slab tile counts, and the initial tiles from the
+	// boundary band scan, so startup touches only O(n^{d-1}) tiles. The
+	// exhaustive scan remains as a fallback.
+	initStart := time.Now()
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = newNode(e, i)
+		nodes[i].ownedTotal = assign.Tiles[i]
+	}
+	initial, _, err := tl.InitialTilesFast(params)
+	if err != nil {
+		for i := range nodes {
+			nodes[i].ownedTotal = 0
+		}
+		tl.ForEachTile(params, func(t []int64) bool {
+			nodes[assign.Owner(t)].ownedTotal++
+			return true
+		})
+		initial, _ = tl.InitialTiles(params)
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("engine: no initial tiles — the dependence graph is cyclic or the space is empty")
+	}
+	for _, t := range initial {
+		n := nodes[assign.Owner(t)]
+		p := &pendTile{tile: t, seq: n.seq}
+		n.seq++
+		p.key = e.makeKey(t, nil)
+		p.level = -sum64(p.key)
+		n.ready[n.groupOf(t)].push(p)
+	}
+	initTime := time.Since(initStart)
+
+	// Launch: per node, Threads workers plus one receiver.
+	var workers sync.WaitGroup
+	var receivers sync.WaitGroup
+	for _, n := range nodes {
+		e.finished.Add(1)
+		n.checkFinished() // nodes owning zero tiles are already done
+		if !cfg.PollingRecv {
+			receivers.Add(1)
+			go func(n *node) {
+				defer receivers.Done()
+				n.receiver()
+			}(n)
+		}
+		for w := 0; w < cfg.Threads; w++ {
+			workers.Add(1)
+			go func(n *node, w int) {
+				defer workers.Done()
+				if cfg.PollingRecv {
+					n.workerPolling(w % cfg.QueueGroups)
+				} else {
+					n.worker(w % cfg.QueueGroups)
+				}
+			}(n, w)
+		}
+	}
+
+	// Coordinator: once every node has executed all its owned tiles,
+	// no further messages can be in flight (a consumer finishes only
+	// after receiving every edge it needs), so the communicator can be
+	// closed and the workers woken for exit.
+	e.finished.Wait()
+	comm.Close()
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.done = true
+		for _, c := range n.conds {
+			c.Broadcast()
+		}
+		n.mu.Unlock()
+	}
+	workers.Wait()
+	receivers.Wait()
+
+	res := &Result{
+		Stats:       make([]NodeStats, cfg.Nodes),
+		BalanceTime: balanceTime,
+		InitTime:    initTime,
+		TotalTime:   time.Since(start),
+		Work:        assign.Work,
+	}
+	res.Messages, res.Elems = comm.Stats()
+	for i, n := range nodes {
+		n.st.Steals = n.steals
+		res.Stats[i] = n.st
+	}
+	e.goalMu.Lock()
+	if !e.goalSet {
+		e.goalMu.Unlock()
+		return nil, fmt.Errorf("engine: goal tile %v never executed", e.goalTile)
+	}
+	res.Value = e.goalVal
+	if e.maxSet {
+		res.Max = e.maxVal
+	} else {
+		res.Max = math.NaN()
+	}
+	e.goalMu.Unlock()
+	return res, nil
+}
+
+// buildKeyDims orders the priority key dimensions: load-balancing
+// dimensions first (priority order), then the remaining dimensions in
+// loop order (Figure 5).
+func (e *engine) buildKeyDims() {
+	inLB := map[int]bool{}
+	for _, k := range e.tl.LBIndices() {
+		e.keyDims = append(e.keyDims, k)
+		inLB[k] = true
+	}
+	for _, v := range e.tl.Spec.Order() {
+		k := e.tl.Spec.VarIndex(v)
+		if !inLB[k] {
+			e.keyDims = append(e.keyDims, k)
+		}
+	}
+}
+
+// node is one simulated shared-memory node.
+type node struct {
+	eng  *engine
+	id   int
+	rank *mpi.Rank
+
+	mu      sync.Mutex
+	conds   []*sync.Cond // one per queue group, sharing mu
+	pending map[string]*pendTile
+	ready   []tileHeap // one priority queue per group (Section VII-C)
+	done    bool
+	seq     int64
+	steals  int64
+
+	ownedTotal int64
+	executed   int64
+	finishOnce sync.Once
+
+	pendingEdges  int64
+	bufferedElems int64
+
+	st NodeStats
+}
+
+func newNode(e *engine, id int) *node {
+	g := e.cfg.QueueGroups
+	n := &node{
+		eng:     e,
+		id:      id,
+		rank:    e.comm.Rank(id),
+		pending: make(map[string]*pendTile),
+		ready:   make([]tileHeap, g),
+		conds:   make([]*sync.Cond, g),
+	}
+	for i := 0; i < g; i++ {
+		n.ready[i] = tileHeap{prio: e.cfg.Priority}
+		n.conds[i] = sync.NewCond(&n.mu)
+	}
+	return n
+}
+
+// groupOf hashes a tile to a queue group (FNV-1a over the coordinates).
+func (n *node) groupOf(t []int64) int {
+	if len(n.ready) == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(n.ready)))
+}
+
+// readyLen returns the total queued tiles across groups (mu held).
+func (n *node) readyLen() int {
+	total := 0
+	for i := range n.ready {
+		total += n.ready[i].Len()
+	}
+	return total
+}
+
+// popReady pops the best tile, preferring the home group and stealing
+// from the others otherwise (mu held). Returns nil when all are empty.
+func (n *node) popReady(home int) *pendTile {
+	g := len(n.ready)
+	for off := 0; off < g; off++ {
+		i := (home + off) % g
+		if n.ready[i].Len() > 0 {
+			if off > 0 {
+				n.steals++
+			}
+			return n.ready[i].pop()
+		}
+	}
+	return nil
+}
+
+func tileKey(t []int64) string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(strconv.FormatInt(v, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// worker is the per-thread main loop (Section V-A): claim the best ready
+// tile, execute it, repeat.
+func (n *node) worker(home int) {
+	w := newWorkerState(n.eng)
+	for {
+		n.mu.Lock()
+		p := n.popReady(home)
+		for p == nil && !n.done {
+			idleStart := time.Now()
+			n.conds[home].Wait()
+			n.st.IdleTime += time.Since(idleStart)
+			p = n.popReady(home)
+		}
+		if p == nil {
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		n.execTile(p, w)
+	}
+}
+
+// workerPolling is the worker loop of the paper's progress model: no
+// receiver goroutine exists, so workers probe the inbox whenever they
+// have no ready tile and while blocked inside sends.
+func (n *node) workerPolling(home int) {
+	w := newWorkerState(n.eng)
+	for {
+		n.mu.Lock()
+		p := n.popReady(home)
+		done := n.done
+		n.mu.Unlock()
+		if p != nil {
+			n.execTile(p, w)
+			continue
+		}
+		if n.poll() {
+			continue
+		}
+		if done {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// poll drains at most one pending inbox message; reports whether one was
+// processed.
+func (n *node) poll() bool {
+	m, ok := n.rank.Iprobe()
+	if !ok {
+		return false
+	}
+	consumer := append([]int64(nil), m.Meta...)
+	n.deliver(consumer, m.Tag, m.Data, true)
+	m.Release()
+	return true
+}
+
+// receiver drains the node's MPI inbox, delivering edges into the
+// pending table. It is the progress engine standing in for the paper's
+// lock-guarded polling step; it exits when the communicator closes.
+func (n *node) receiver() {
+	for {
+		m, ok := n.rank.Recv()
+		if !ok {
+			return
+		}
+		consumer := append([]int64(nil), m.Meta...)
+		n.deliver(consumer, m.Tag, m.Data, true)
+		m.Release()
+	}
+}
+
+// deliver records one incoming edge for a consumer tile, moving the tile
+// to the ready queue when its last dependence arrives.
+func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool) {
+	e := n.eng
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if remote {
+		n.st.EdgesRecvRemote++
+	} else {
+		n.st.EdgesLocal++
+	}
+	k := tileKey(consumer)
+	p := n.pending[k]
+	if p == nil {
+		p = &pendTile{
+			tile:      append([]int64(nil), consumer...),
+			remaining: e.tl.DepCount(e.params, consumer),
+		}
+		n.pending[k] = p
+	}
+	p.edges = append(p.edges, edge{dep: dep, data: data})
+	p.remaining--
+	n.pendingEdges++
+	n.bufferedElems += int64(len(data))
+	if n.pendingEdges > n.st.PeakPendingEdges {
+		n.st.PeakPendingEdges = n.pendingEdges
+	}
+	if n.bufferedElems > n.st.PeakBufferedElems {
+		n.st.PeakBufferedElems = n.bufferedElems
+	}
+	if t := int64(len(n.pending) + n.readyLen()); t > n.st.PeakPendingTiles {
+		n.st.PeakPendingTiles = t
+	}
+	if p.remaining == 0 {
+		delete(n.pending, k)
+		p.seq = n.seq
+		n.seq++
+		p.key = e.makeKey(p.tile, nil)
+		p.level = -sum64(p.key)
+		g := n.groupOf(p.tile)
+		n.ready[g].push(p)
+		n.conds[g].Signal()
+	}
+}
+
+// workerState is per-worker scratch: the tile buffer with its ghost
+// shell, and the kernel context.
+type workerState struct {
+	buf      []float64
+	ctx      Ctx
+	specVals []int64
+	x        []int64
+	probe    []int64
+	keyBuf   []int64
+}
+
+func newWorkerState(e *engine) *workerState {
+	d := len(e.tl.Spec.Vars)
+	w := &workerState{
+		buf:      make([]float64, e.tl.AllocLen),
+		specVals: make([]int64, e.tl.Spec.Space().N()),
+		x:        make([]int64, d),
+		probe:    make([]int64, d),
+		keyBuf:   make([]int64, d),
+	}
+	copy(w.specVals, e.params)
+	w.ctx = Ctx{
+		V:        w.buf,
+		DepLoc:   make([]int64, len(e.tl.Spec.Deps)),
+		DepValid: make([]bool, len(e.tl.Spec.Deps)),
+		X:        w.x,
+		P:        e.params,
+	}
+	return w
+}
+
+// execTile runs one tile: unpack edges, execute cells, pack and deliver
+// outgoing edges, and update termination state. A panicking user kernel
+// still crashes the run (there is no safe way to unwind a half-computed
+// distributed wavefront), but the panic is annotated with the tile so
+// the kernel bug is findable.
+func (n *node) execTile(p *pendTile, w *workerState) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("engine: kernel panic in tile %v on node %d: %v", p.tile, n.id, r))
+		}
+	}()
+	e := n.eng
+	tl := e.tl
+	d := len(tl.Spec.Vars)
+
+	// Unpack received edges into the ghost shell. The producer of edge
+	// dep j is p.tile + offset_j; pack and unpack share that producer's
+	// slab nest, so the element order matches exactly.
+	for _, ed := range p.edges {
+		producer := w.probe
+		off := tl.TileDeps[ed.dep].Offset
+		for k := 0; k < d; k++ {
+			producer[k] = p.tile[k] + off[k]
+		}
+		idx := 0
+		tl.ForEachEdgeCell(e.params, producer, ed.dep, func(i []int64) bool {
+			w.buf[tl.UnpackLoc(ed.dep, i)] = ed.data[idx]
+			idx++
+			return true
+		})
+		if idx != len(ed.data) {
+			panic(fmt.Sprintf("engine: unpack size mismatch: %d cells, %d values", idx, len(ed.data)))
+		}
+	}
+	// Edge storage is released now that it is unpacked.
+	n.mu.Lock()
+	n.pendingEdges -= int64(len(p.edges))
+	for _, ed := range p.edges {
+		n.bufferedElems -= int64(len(ed.data))
+	}
+	n.mu.Unlock()
+	p.edges = nil
+
+	// Execute the cells in dependence order.
+	var cells int64
+	tileMax := math.Inf(-1)
+	np := len(e.params)
+	nd := len(tl.Spec.Deps)
+	goal := sameTile(p.tile, e.goalTile)
+	tl.ForEachCell(e.params, p.tile, func(i []int64) bool {
+		cells++
+		loc := tl.Loc(i)
+		for k := 0; k < d; k++ {
+			w.x[k] = i[k] + tl.Widths[k]*p.tile[k]
+			w.specVals[np+k] = w.x[k]
+		}
+		w.ctx.Loc = loc
+		w.ctx.I = i
+		for j := 0; j < nd; j++ {
+			w.ctx.DepLoc[j] = loc + tl.DepLocOff[j]
+			w.ctx.DepValid[j] = tl.DepValid(j, w.specVals)
+		}
+		e.kernel(&w.ctx)
+		if v := w.buf[loc]; v > tileMax {
+			tileMax = v
+		}
+		if e.cfg.OnCell != nil {
+			e.cfg.OnCell(w.x, w.buf[loc])
+		}
+		return true
+	})
+
+	if goal {
+		v := w.buf[tl.Loc(e.goalLocal)]
+		e.goalMu.Lock()
+		e.goalVal = v
+		e.goalSet = true
+		e.goalMu.Unlock()
+	}
+	if cells > 0 {
+		e.goalMu.Lock()
+		if !e.maxSet || tileMax > e.maxVal {
+			e.maxVal = tileMax
+			e.maxSet = true
+		}
+		e.goalMu.Unlock()
+	}
+
+	// Pack and deliver outgoing edges (steps 4a/4b of Section V-A).
+	for j := range tl.TileDeps {
+		off := tl.TileDeps[j].Offset
+		consumer := w.probe
+		for k := 0; k < d; k++ {
+			consumer[k] = p.tile[k] - off[k]
+		}
+		if !tl.InTileSpace(e.params, consumer) {
+			continue
+		}
+		var data []float64
+		tl.ForEachEdgeCell(e.params, p.tile, j, func(i []int64) bool {
+			data = append(data, w.buf[tl.Loc(i)])
+			return true
+		})
+		owner := e.assign.Owner(consumer)
+		if owner == n.id {
+			n.deliver(consumer, j, data, false)
+		} else {
+			meta := append([]int64(nil), consumer...)
+			if e.cfg.PollingRecv {
+				n.rank.SendPolling(owner, j, data, meta, func() {
+					if !n.poll() {
+						runtime.Gosched()
+					}
+				})
+			} else {
+				n.rank.Send(owner, j, data, meta)
+			}
+			n.mu.Lock()
+			n.st.EdgesSentRemote++
+			n.mu.Unlock()
+		}
+	}
+
+	n.mu.Lock()
+	n.st.TilesExecuted++
+	n.st.CellsComputed += cells
+	n.executed++
+	finished := n.executed == n.ownedTotal
+	n.mu.Unlock()
+	if finished {
+		n.checkFinished()
+	}
+}
+
+// checkFinished signals global termination bookkeeping exactly once when
+// the node has executed every owned tile (including owning none).
+func (n *node) checkFinished() {
+	n.mu.Lock()
+	done := n.executed == n.ownedTotal
+	n.mu.Unlock()
+	if done {
+		n.finishOnce.Do(n.eng.finished.Done)
+	}
+}
+
+func sameTile(a, b []int64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sum64(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package engine
+
+// Ctx is the per-location view handed to a Kernel, mirroring the symbols
+// the generator provides to the user's center-loop code (Section IV-B):
+// the state array V, the current location loc, the constant-offset
+// dependence locations loc_rj, the dependence validity flags
+// is_valid_rj, the original loop variable values, and the parameters.
+type Ctx struct {
+	// V is the tile's state buffer, including the ghost-cell shell.
+	V []float64
+	// Loc is the buffer index of the current location.
+	Loc int64
+	// DepLoc[j] is the buffer index of template dependence j
+	// (Loc plus a constant offset — the mapping functions of IV-H).
+	DepLoc []int64
+	// DepValid[j] reports whether dependence j stays inside the
+	// iteration space (the is_valid_rj variables of IV-G). Reading
+	// V[DepLoc[j]] with DepValid[j] == false yields garbage, exactly as
+	// in the generated C code; the kernel must branch on it.
+	DepValid []bool
+	// X holds the original loop variable values (Vars order).
+	X []int64
+	// I holds the tile-local indices (Vars order).
+	I []int64
+	// P holds the parameter values.
+	P []int64
+}
+
+// Kernel is the center-loop body: it computes V[Loc] from the
+// dependencies. It must write only the current location and must not
+// assume any particular cell execution order beyond dependence validity
+// (Section IV-B). Kernels are called concurrently from many workers on
+// different tiles; they must not share mutable state without
+// synchronization.
+type Kernel func(c *Ctx)

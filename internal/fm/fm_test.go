@@ -1,0 +1,238 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpgen/internal/lin"
+)
+
+// chainSystem is the paper's Section IV-D example: x1 <= x2, x2 <= x3.
+func chainSystem() *lin.System {
+	s := lin.MustSpace(nil, []string{"x1", "x2", "x3"})
+	sys := lin.NewSystem(s)
+	sys.AddLE(lin.Var(s, "x1"), lin.Var(s, "x2"))
+	sys.AddLE(lin.Var(s, "x2"), lin.Var(s, "x3"))
+	return sys
+}
+
+func TestEliminateChain(t *testing.T) {
+	sys := chainSystem()
+	out, err := Eliminate(sys, "x2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ineqs) != 1 {
+		t.Fatalf("got %d ineqs, want 1: %v", len(out.Ineqs), out)
+	}
+	q := out.Ineqs[0]
+	// x3 - x1 >= 0
+	if q.Coeff("x3") != 1 || q.Coeff("x1") != -1 || q.K != 0 {
+		t.Errorf("wrong combined constraint: %v", q)
+	}
+}
+
+func TestEliminateKeepsUninvolved(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x", "y"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "y"), lin.Zero(s))
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 5))
+	out, err := Eliminate(sys, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InvolvedIn("x") {
+		t.Error("x survived elimination")
+	}
+	if !out.InvolvedIn("y") {
+		t.Error("y >= 0 lost")
+	}
+}
+
+func TestEliminateInfeasible(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 5))
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 3))
+	if _, err := Eliminate(sys, "x", Options{}); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestEliminateAllBandit(t *testing.T) {
+	// Projecting the full 2-arm bandit space onto the parameter leaves
+	// exactly N >= 0.
+	s := lin.MustSpace([]string{"N"}, []string{"s1", "f1", "s2", "f2"})
+	sys := lin.NewSystem(s)
+	sum := lin.Var(s, "s1").Add(lin.Var(s, "f1")).Add(lin.Var(s, "s2")).Add(lin.Var(s, "f2"))
+	sys.AddLE(sum, lin.Var(s, "N"))
+	for _, v := range s.Vars() {
+		sys.AddGE(lin.Var(s, v), lin.Zero(s))
+	}
+	out, err := EliminateAll(sys, s.Vars(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ineqs) != 1 {
+		t.Fatalf("got %d ineqs, want 1: %v", len(out.Ineqs), out)
+	}
+	q := out.Ineqs[0]
+	if q.Coeff("N") != 1 || q.K != 0 {
+		t.Errorf("projection onto N wrong: %v", q)
+	}
+}
+
+func TestEliminateTightensDivisibility(t *testing.T) {
+	// 2x >= y and 2x <= y imply after eliminating x: nothing on y beyond
+	// existing bounds; but 2x >= y+1 and 2x <= y gives contradiction.
+	s := lin.MustSpace(nil, []string{"y", "x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Term(s, 2, "x"), lin.Var(s, "y").AddConst(1))
+	sys.AddLE(lin.Term(s, 2, "x"), lin.Var(s, "y"))
+	if _, err := Eliminate(sys, "x", Options{}); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestEliminateUnknownName(t *testing.T) {
+	sys := chainSystem()
+	if _, err := Eliminate(sys, "zzz", Options{}); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestSimplexPruneShrinks(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 5))
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 3)) // redundant
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 1)) // redundant
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 9))
+	out, err := Simplify(sys, Options{Prune: PruneSimplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ineqs) != 2 {
+		t.Errorf("prune left %d ineqs, want 2: %v", len(out.Ineqs), out)
+	}
+}
+
+// enumerate collects all integer points of sys over the box [-b, b]^d.
+func enumerate(sys *lin.System, b int64) [][]int64 {
+	n := sys.Space().N()
+	var out [][]int64
+	pt := make([]int64, n)
+	var rec func(int)
+	rec = func(k int) {
+		if k == n {
+			if sys.Contains(pt) {
+				out = append(out, append([]int64(nil), pt...))
+			}
+			return
+		}
+		for v := -b; v <= b; v++ {
+			pt[k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Property: the FM shadow contains the projection of every integer point
+// (soundness of projection), on random small systems.
+func TestShadowContainsProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := lin.MustSpace(nil, []string{"a", "b", "c"})
+	for trial := 0; trial < 50; trial++ {
+		sys := lin.NewSystem(s)
+		for i := 0; i < 4; i++ {
+			e := lin.Const(s, int64(rng.Intn(9)-2))
+			for _, v := range s.Vars() {
+				e = e.Add(lin.Term(s, int64(rng.Intn(5)-2), v))
+			}
+			sys.Ineqs = append(sys.Ineqs, lin.Ineq{Expr: e})
+		}
+		// Keep the box bounded so enumeration terminates.
+		for _, v := range s.Vars() {
+			sys.AddGE(lin.Var(s, v), lin.Const(s, -3))
+			sys.AddLE(lin.Var(s, v), lin.Const(s, 3))
+		}
+		out, err := Eliminate(sys, "c", Options{Prune: PruneSimplex})
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range enumerate(sys, 3) {
+			if !out.Contains(pt) { // same space; c coefficient is zero in out
+				t.Fatalf("trial %d: projected point %v not in shadow\nsys=%v\nout=%v",
+					trial, pt, sys, out)
+			}
+		}
+	}
+}
+
+// Property: for unimodular-style systems (coefficients in {-1,0,1}), the
+// shadow is exact: every integer point of the shadow extends to an integer
+// point of the original system.
+func TestShadowExactForUnitCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := lin.MustSpace(nil, []string{"a", "b", "c"})
+	for trial := 0; trial < 50; trial++ {
+		sys := lin.NewSystem(s)
+		for i := 0; i < 4; i++ {
+			e := lin.Const(s, int64(rng.Intn(7)-1))
+			for _, v := range s.Vars() {
+				e = e.Add(lin.Term(s, int64(rng.Intn(3)-1), v))
+			}
+			sys.Ineqs = append(sys.Ineqs, lin.Ineq{Expr: e})
+		}
+		for _, v := range s.Vars() {
+			sys.AddGE(lin.Var(s, v), lin.Const(s, -3))
+			sys.AddLE(lin.Var(s, v), lin.Const(s, 3))
+		}
+		out, err := Eliminate(sys, "c", Options{Prune: PruneSimplex})
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collect projected original points into a set keyed by (a,b).
+		have := map[[2]int64]bool{}
+		for _, pt := range enumerate(sys, 3) {
+			have[[2]int64{pt[0], pt[1]}] = true
+		}
+		// Every shadow point with c fixed at any value... the shadow does
+		// not involve c, so enumerate (a,b) and check extension exists.
+		for a := int64(-3); a <= 3; a++ {
+			for b := int64(-3); b <= 3; b++ {
+				if out.Contains([]int64{a, b, 0}) && !have[[2]int64{a, b}] {
+					t.Fatalf("trial %d: shadow point (%d,%d) has no integer extension\nsys=%v\nout=%v",
+						trial, a, b, sys, out)
+				}
+			}
+		}
+	}
+}
+
+func TestAutoPruneTriggersOnLargeSystems(t *testing.T) {
+	// Build a system with many parallel redundant constraints; PruneAuto
+	// should collapse it once it crosses the threshold.
+	s := lin.MustSpace(nil, []string{"x", "y"})
+	sys := lin.NewSystem(s)
+	for k := int64(0); k < 40; k++ {
+		sys.AddGE(lin.Var(s, "x").Add(lin.Term(s, 1, "y")), lin.Const(s, -k))
+	}
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 10))
+	out, err := Simplify(sys, Options{Prune: PruneAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ineqs) > 3 {
+		t.Errorf("auto prune left %d constraints", len(out.Ineqs))
+	}
+}

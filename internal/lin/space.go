@@ -1,0 +1,139 @@
+// Package lin implements the symbolic linear algebra that underlies the
+// program generator: variable spaces, affine expressions with exact int64
+// coefficients, linear inequalities of the form expr >= 0, and systems of
+// such inequalities over parametric integer spaces.
+//
+// A Space is an ordered list of names. The first NumParams names are
+// problem parameters (such as N for the bandit problems); the remaining
+// names are iteration variables. All names range over the integers.
+// Inequality systems over a Space describe parametric polytopes — the
+// iteration spaces of Section IV-E of the paper.
+package lin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Space is an ordered set of integer-valued names: parameters first,
+// then iteration variables. Spaces are immutable once created.
+type Space struct {
+	names   []string
+	index   map[string]int
+	nparams int
+}
+
+// NewSpace creates a space with the given parameters and variables.
+// Names must be non-empty and pairwise distinct.
+func NewSpace(params, vars []string) (*Space, error) {
+	s := &Space{
+		names:   make([]string, 0, len(params)+len(vars)),
+		index:   make(map[string]int, len(params)+len(vars)),
+		nparams: len(params),
+	}
+	for _, n := range append(append([]string{}, params...), vars...) {
+		if n == "" {
+			return nil, fmt.Errorf("lin: empty name in space")
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("lin: duplicate name %q in space", n)
+		}
+		s.index[n] = len(s.names)
+		s.names = append(s.names, n)
+	}
+	return s, nil
+}
+
+// MustSpace is NewSpace that panics on error; for tests and fixed setups.
+func MustSpace(params, vars []string) *Space {
+	s, err := NewSpace(params, vars)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the total number of names (parameters plus variables).
+func (s *Space) N() int { return len(s.names) }
+
+// NumParams returns the number of parameters.
+func (s *Space) NumParams() int { return s.nparams }
+
+// NumVars returns the number of iteration variables.
+func (s *Space) NumVars() int { return len(s.names) - s.nparams }
+
+// Names returns a copy of all names in order.
+func (s *Space) Names() []string { return append([]string(nil), s.names...) }
+
+// Params returns a copy of the parameter names.
+func (s *Space) Params() []string { return append([]string(nil), s.names[:s.nparams]...) }
+
+// Vars returns a copy of the variable names.
+func (s *Space) Vars() []string { return append([]string(nil), s.names[s.nparams:]...) }
+
+// Name returns the name at index i.
+func (s *Space) Name(i int) string { return s.names[i] }
+
+// Index returns the position of name, or -1 if absent.
+func (s *Space) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the space contains name.
+func (s *Space) Has(name string) bool { _, ok := s.index[name]; return ok }
+
+// IsParam reports whether index i denotes a parameter.
+func (s *Space) IsParam(i int) bool { return i < s.nparams }
+
+// ExtendVars returns a new space with extra variables appended after the
+// existing ones. Parameters are unchanged.
+func (s *Space) ExtendVars(extra ...string) (*Space, error) {
+	return NewSpace(s.names[:s.nparams], append(s.Vars(), extra...))
+}
+
+// WithParams returns a new space over the same names where the set of
+// names treated as parameters is exactly params (which must be a prefix-
+// reorderable subset of this space's names). The returned space orders
+// params first, then the remaining names in their original order.
+func (s *Space) WithParams(params []string) (*Space, error) {
+	isP := make(map[string]bool, len(params))
+	for _, p := range params {
+		if !s.Has(p) {
+			return nil, fmt.Errorf("lin: WithParams: %q not in space", p)
+		}
+		isP[p] = true
+	}
+	var vars []string
+	for _, n := range s.names {
+		if !isP[n] {
+			vars = append(vars, n)
+		}
+	}
+	return NewSpace(params, vars)
+}
+
+// Equal reports whether two spaces have identical names, order and
+// parameter split.
+func (s *Space) Equal(o *Space) bool {
+	if s == o {
+		return true
+	}
+	if s.nparams != o.nparams || len(s.names) != len(o.names) {
+		return false
+	}
+	for i, n := range s.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Space) String() string {
+	return fmt.Sprintf("[%s | %s]",
+		strings.Join(s.names[:s.nparams], ","),
+		strings.Join(s.names[s.nparams:], ","))
+}

@@ -1,0 +1,194 @@
+package lin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpgen/internal/ints"
+)
+
+// Ineq is the linear inequality Expr >= 0 over integer points.
+type Ineq struct {
+	Expr
+}
+
+// GE constructs the inequality a >= b, i.e. (a - b) >= 0.
+func GE(a, b Expr) Ineq { return Ineq{a.Sub(b)} }
+
+// LE constructs the inequality a <= b, i.e. (b - a) >= 0.
+func LE(a, b Expr) Ineq { return Ineq{b.Sub(a)} }
+
+// Tighten normalizes the inequality for integer points: dividing all
+// coefficients by their gcd g and flooring the constant, since
+// g*(a.z) + K >= 0 with integral a.z is equivalent to
+// a.z + floor(K/g) >= 0. A constant inequality is returned unchanged.
+func (q Ineq) Tighten() Ineq {
+	g := q.ContentGCD()
+	if g == 0 || g == 1 {
+		return q
+	}
+	r := q.Clone()
+	for i := range r.Coef {
+		r.Coef[i] /= g
+	}
+	r.K = ints.FloorDiv(r.K, g)
+	return Ineq{r}
+}
+
+// Holds reports whether the inequality holds at the given point.
+func (q Ineq) Holds(vals []int64) bool { return q.Eval(vals) >= 0 }
+
+// IsTautology reports whether the inequality is a constant true (K >= 0
+// with no variables).
+func (q Ineq) IsTautology() bool { return q.IsConst() && q.K >= 0 }
+
+// IsContradiction reports whether the inequality is constant false.
+func (q Ineq) IsContradiction() bool { return q.IsConst() && q.K < 0 }
+
+func (q Ineq) String() string { return q.Expr.String() + " >= 0" }
+
+// System is a conjunction of linear inequalities over one space: the
+// integer points of a parametric polyhedron.
+type System struct {
+	space *Space
+	Ineqs []Ineq
+}
+
+// NewSystem creates an empty system over s.
+func NewSystem(s *Space) *System { return &System{space: s} }
+
+// Space returns the system's space.
+func (sys *System) Space() *Space { return sys.space }
+
+// Clone returns a deep copy of the system.
+func (sys *System) Clone() *System {
+	out := NewSystem(sys.space)
+	out.Ineqs = make([]Ineq, len(sys.Ineqs))
+	for i, q := range sys.Ineqs {
+		out.Ineqs[i] = Ineq{q.Clone()}
+	}
+	return out
+}
+
+// Add appends inequalities (tightened); tautologies are dropped and
+// duplicates removed lazily by Dedup.
+func (sys *System) Add(qs ...Ineq) *System {
+	for _, q := range qs {
+		if !q.Space().Equal(sys.space) {
+			panic("lin: System.Add: inequality from different space")
+		}
+		t := q.Tighten()
+		if t.IsTautology() {
+			continue
+		}
+		sys.Ineqs = append(sys.Ineqs, t)
+	}
+	return sys
+}
+
+// AddGE appends a >= b.
+func (sys *System) AddGE(a, b Expr) *System { return sys.Add(GE(a, b)) }
+
+// AddLE appends a <= b.
+func (sys *System) AddLE(a, b Expr) *System { return sys.Add(LE(a, b)) }
+
+// AddEq appends a == b as a pair of inequalities.
+func (sys *System) AddEq(a, b Expr) *System { return sys.Add(GE(a, b), LE(a, b)) }
+
+// Dedup removes duplicate inequalities (after tightening) and constant
+// tautologies. It reports whether a constant contradiction is present, in
+// which case the system is infeasible for every parameter value.
+func (sys *System) Dedup() (contradiction bool) {
+	seen := make(map[string]bool, len(sys.Ineqs))
+	out := sys.Ineqs[:0]
+	for _, q := range sys.Ineqs {
+		if q.IsTautology() {
+			continue
+		}
+		if q.IsContradiction() {
+			contradiction = true
+			continue
+		}
+		k := q.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	sys.Ineqs = out
+	return contradiction
+}
+
+// Contains reports whether the point satisfies every inequality.
+func (sys *System) Contains(vals []int64) bool {
+	for _, q := range sys.Ineqs {
+		if !q.Holds(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lift returns the system expressed over the superspace to.
+func (sys *System) Lift(to *Space) *System {
+	out := NewSystem(to)
+	for _, q := range sys.Ineqs {
+		out.Ineqs = append(out.Ineqs, Ineq{q.Expr.Lift(to)})
+	}
+	return out
+}
+
+// Project returns the system expressed over the subspace to. Every
+// inequality must have zero coefficients on names missing from to.
+func (sys *System) Project(to *Space) (*System, error) {
+	out := NewSystem(to)
+	for _, q := range sys.Ineqs {
+		e, err := q.Expr.Project(to)
+		if err != nil {
+			return nil, err
+		}
+		out.Ineqs = append(out.Ineqs, Ineq{e})
+	}
+	return out, nil
+}
+
+// Subst replaces name with rep in every inequality.
+func (sys *System) Subst(name string, rep Expr) *System {
+	out := NewSystem(sys.space)
+	for _, q := range sys.Ineqs {
+		out.Ineqs = append(out.Ineqs, Ineq{q.Expr.Subst(name, rep)})
+	}
+	return out
+}
+
+// InvolvedIn reports whether any inequality has a nonzero coefficient on name.
+func (sys *System) InvolvedIn(name string) bool {
+	i := sys.space.Index(name)
+	if i < 0 {
+		return false
+	}
+	for _, q := range sys.Ineqs {
+		if q.Coef[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the inequalities in a canonical order (for stable output
+// and golden tests).
+func (sys *System) Sorted() []Ineq {
+	out := append([]Ineq(nil), sys.Ineqs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func (sys *System) String() string {
+	var parts []string
+	for _, q := range sys.Sorted() {
+		parts = append(parts, q.String())
+	}
+	return fmt.Sprintf("{%s : %s}", sys.space, strings.Join(parts, "; "))
+}

@@ -1,0 +1,234 @@
+// Package mpi is an in-process message-passing substrate with the shape
+// of the MPI subset the generated programs use: ranks, tagged
+// point-to-point sends, blocking receive, non-blocking probe (the
+// engine's "poll for incoming edges" step), barrier and all-reduce.
+//
+// It exists because this reproduction has no MPI ecosystem to link
+// against: every "node" of the hybrid program is a set of goroutines
+// sharing one address space, and the network is a set of bounded
+// channels. The bounded send-buffer and receive-buffer pools reproduce
+// the backpressure semantics that make the paper's buffer-count
+// configuration option (Section VI-C) observable: a sender with all send
+// buffers in flight stalls until a receiver drains one.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is a tagged payload between ranks. After processing, the
+// receiver must call Release to return the sender's send-buffer slot.
+type Message struct {
+	Src  int
+	Tag  int
+	Data []float64
+	Meta []int64
+
+	slot chan struct{}
+	once sync.Once
+}
+
+// Release returns the send-buffer slot to the sender. Safe to call
+// multiple times; only the first has effect.
+func (m *Message) Release() {
+	m.once.Do(func() {
+		if m.slot != nil {
+			<-m.slot
+		}
+	})
+}
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size      int
+	inbox     []chan *Message
+	sendSlots []chan struct{}
+
+	// Barrier state.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	gen   int
+
+	// Statistics (atomic).
+	messages atomic.Int64
+	elems    atomic.Int64
+
+	closed atomic.Bool
+}
+
+// NewComm creates a communicator with the given number of ranks. Each
+// rank has sendBufs send-buffer slots (its sends beyond that block until
+// a receiver releases one) and recvBufs receive-buffer slots (senders to
+// a full inbox block until the receiver dequeues). Both must be >= 1.
+func NewComm(size, sendBufs, recvBufs int) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: size %d", size)
+	}
+	if sendBufs < 1 || recvBufs < 1 {
+		return nil, fmt.Errorf("mpi: need at least 1 send and recv buffer, got %d/%d", sendBufs, recvBufs)
+	}
+	c := &Comm{size: size}
+	c.cond = sync.NewCond(&c.mu)
+	c.inbox = make([]chan *Message, size)
+	c.sendSlots = make([]chan struct{}, size)
+	for i := range c.inbox {
+		c.inbox[i] = make(chan *Message, recvBufs)
+		c.sendSlots[i] = make(chan struct{}, sendBufs)
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank returns the handle for rank r.
+func (c *Comm) Rank(r int) *Rank {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.size))
+	}
+	return &Rank{c: c, id: r}
+}
+
+// Close shuts down all inboxes. It must only be called after global
+// quiescence (no sends in flight or forthcoming); receivers then observe
+// end-of-stream.
+func (c *Comm) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		for _, ch := range c.inbox {
+			close(ch)
+		}
+	}
+}
+
+// Stats returns the total messages and float64 elements transferred.
+func (c *Comm) Stats() (messages, elems int64) {
+	return c.messages.Load(), c.elems.Load()
+}
+
+// Rank is one endpoint of a communicator.
+type Rank struct {
+	c  *Comm
+	id int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.c.size }
+
+// Send delivers a tagged message to dst. It blocks while all of this
+// rank's send buffers are in flight, and while dst's receive buffers are
+// full — the two backpressure mechanisms of the generated programs.
+// data and meta are handed off and must not be modified by the caller
+// afterwards.
+func (r *Rank) Send(dst, tag int, data []float64, meta []int64) {
+	slot := r.c.sendSlots[r.id]
+	slot <- struct{}{} // acquire a send buffer
+	m := &Message{Src: r.id, Tag: tag, Data: data, Meta: meta, slot: slot}
+	r.c.messages.Add(1)
+	r.c.elems.Add(int64(len(data)))
+	r.c.inbox[dst] <- m
+}
+
+// SendPolling delivers like Send, but instead of blocking while send
+// buffers or the destination's receive buffers are exhausted, it invokes
+// poll() between attempts. This is how a single-threaded rank avoids
+// deadlock when every peer is simultaneously trying to send: the poll
+// callback drains the caller's own inbox (the generated programs'
+// "poll for incoming edges" step).
+func (r *Rank) SendPolling(dst, tag int, data []float64, meta []int64, poll func()) {
+	slot := r.c.sendSlots[r.id]
+	for {
+		select {
+		case slot <- struct{}{}:
+		default:
+			poll()
+			continue
+		}
+		break
+	}
+	m := &Message{Src: r.id, Tag: tag, Data: data, Meta: meta, slot: slot}
+	for {
+		select {
+		case r.c.inbox[dst] <- m:
+			r.c.messages.Add(1)
+			r.c.elems.Add(int64(len(data)))
+			return
+		default:
+			poll()
+		}
+	}
+}
+
+// Recv blocks for the next message. ok is false when the communicator
+// has been closed and the inbox drained.
+func (r *Rank) Recv() (m *Message, ok bool) {
+	m, ok = <-r.c.inbox[r.id]
+	return m, ok
+}
+
+// Iprobe returns a pending message without blocking, or ok=false if none
+// is queued (or the communicator is closed and drained).
+func (r *Rank) Iprobe() (m *Message, ok bool) {
+	select {
+	case m, ok = <-r.c.inbox[r.id]:
+		return m, ok
+	default:
+		return nil, false
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	c.count++
+	if c.count == c.size {
+		c.count = 0
+		c.gen++
+		c.cond.Broadcast()
+		return
+	}
+	for gen == c.gen {
+		c.cond.Wait()
+	}
+}
+
+// allreduceState carries one in-progress reduction; Comm serializes
+// reductions through the barrier generation, so one slot suffices.
+var allreduceMu sync.Mutex
+var allreduceVals = map[*Comm][]float64{}
+
+// AllReduce combines one float64 per rank with f (applied in rank order)
+// and returns the result on every rank. All ranks must call it
+// collectively, and reductions must not overlap with other reductions on
+// the same communicator.
+func (r *Rank) AllReduce(v float64, f func(a, b float64) float64) float64 {
+	c := r.c
+	allreduceMu.Lock()
+	vals := allreduceVals[c]
+	if vals == nil {
+		vals = make([]float64, c.size)
+		allreduceVals[c] = vals
+	}
+	vals[r.id] = v
+	allreduceMu.Unlock()
+
+	r.Barrier()
+
+	allreduceMu.Lock()
+	acc := vals[0]
+	for i := 1; i < c.size; i++ {
+		acc = f(acc, vals[i])
+	}
+	allreduceMu.Unlock()
+
+	r.Barrier() // keep vals stable until everyone has read
+	return acc
+}

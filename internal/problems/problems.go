@@ -1,0 +1,66 @@
+// Package problems contains the built-in dynamic programming problems
+// used throughout the paper: the 2- and 3-arm Bernoulli bandits, the
+// 2-arm bandit with delayed observations (Section VI), and the sequence
+// problems its introduction motivates — pairwise edit distance, multiple
+// sequence alignment of three sequences, and the longest common
+// subsequence of three strings.
+//
+// Each problem bundles the generator spec, the runtime kernel, and an
+// independent straightforward serial solver used as the correctness
+// reference by the tests and benchmarks.
+package problems
+
+import (
+	"fmt"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/spec"
+)
+
+// Problem is a ready-to-run dynamic programming problem.
+type Problem struct {
+	// Spec is the generator input description.
+	Spec *spec.Spec
+	// Kernel is the center-loop body for the in-process runtime.
+	Kernel engine.Kernel
+	// Serial computes the goal value with an independent nested-loop
+	// solver; the reference for correctness checks.
+	Serial func(params []int64) float64
+	// DefaultParams are sensible parameter values for examples and
+	// benches.
+	DefaultParams []int64
+	// UseMax marks problems whose answer is the maximum over the whole
+	// space (engine Result.Max) rather than the goal-location value —
+	// e.g. local sequence alignment.
+	UseMax bool
+}
+
+// Registry returns the built-in problems at small default sizes, keyed
+// by name. Sequence problems use deterministic seeded inputs.
+func Registry() map[string]*Problem {
+	return map[string]*Problem{
+		"bandit2":      Bandit2(),
+		"bandit3":      Bandit3(),
+		"bandit2delay": Bandit2Delay(),
+		"editdist":     EditDistanceSeeded(1, 2),
+		"lcs2":         LCS2Seeded(5),
+		"lcs3":         LCS3Seeded(2),
+		"msa3":         MSA3Seeded(3),
+		"msa4":         MSA4Seeded(4),
+		"localalign":   SmithWatermanSeeded(6),
+	}
+}
+
+// Names lists the registry keys in a stable order.
+func Names() []string {
+	return []string{"bandit2", "bandit3", "bandit2delay", "editdist", "lcs2", "lcs3", "msa3", "msa4", "localalign"}
+}
+
+// Get returns a registry problem or an error.
+func Get(name string) (*Problem, error) {
+	p, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("problems: unknown problem %q (have %v)", name, Names())
+	}
+	return p, nil
+}

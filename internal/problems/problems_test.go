@@ -1,0 +1,326 @@
+package problems
+
+import (
+	"testing"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/tiling"
+	"dpgen/internal/workload"
+)
+
+// runBoth executes a problem on the hybrid runtime and serially, and
+// requires bit-identical results.
+func runBoth(t *testing.T, p *Problem, params []int64, cfg engine.Config) {
+	t.Helper()
+	tl, err := tiling.New(p.Spec)
+	if err != nil {
+		t.Fatalf("%s: tiling: %v", p.Spec.Name, err)
+	}
+	res, err := engine.Run(tl, p.Kernel, params, cfg)
+	if err != nil {
+		t.Fatalf("%s: run: %v", p.Spec.Name, err)
+	}
+	got := res.Value
+	if p.UseMax {
+		got = res.Max
+	}
+	want := p.Serial(params)
+	if got != want {
+		t.Fatalf("%s params %v: engine %v != serial %v", p.Spec.Name, params, got, want)
+	}
+}
+
+func TestBandit2MatchesSerial(t *testing.T) {
+	p := Bandit2()
+	for _, N := range []int64{0, 1, 5, 21} {
+		runBoth(t, p, []int64{N}, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestBandit2KnownValues(t *testing.T) {
+	// Hand-checkable: N=1 with uniform priors gives expected success
+	// probability 1/2 on the first pull.
+	p := Bandit2()
+	if got := p.Serial([]int64{1}); got != 0.5 {
+		t.Errorf("V(0) at N=1 = %v, want 0.5", got)
+	}
+	// The value is monotone in N and below N.
+	prev := 0.0
+	for N := int64(1); N <= 8; N++ {
+		v := p.Serial([]int64{N})
+		if v <= prev || v >= float64(N) {
+			t.Errorf("N=%d: value %v not in (%v, %d)", N, v, prev, N)
+		}
+		prev = v
+	}
+}
+
+func TestBandit3MatchesSerial(t *testing.T) {
+	p := Bandit3()
+	for _, N := range []int64{0, 2, 9} {
+		runBoth(t, p, []int64{N}, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestBandit3BeatsBandit2(t *testing.T) {
+	// Three arms cannot be worse than two (more options).
+	N := []int64{10}
+	if b3, b2 := Bandit3().Serial(N), Bandit2().Serial(N); b3 < b2 {
+		t.Errorf("bandit3 value %v below bandit2 %v", b3, b2)
+	}
+}
+
+func TestBandit2DelayMatchesSerial(t *testing.T) {
+	p := Bandit2Delay()
+	for _, N := range []int64{0, 2, 7} {
+		runBoth(t, p, []int64{N}, engine.Config{Nodes: 3, Threads: 2})
+	}
+}
+
+func TestBandit2DelayBelowUndelayed(t *testing.T) {
+	// Delayed observations can only lose value relative to the immediate-
+	// feedback bandit at the same horizon.
+	N := []int64{8}
+	if d, u := Bandit2Delay().Serial(N), Bandit2().Serial(N); d > u+1e-12 {
+		t.Errorf("delayed value %v exceeds undelayed %v", d, u)
+	}
+}
+
+func TestEditDistanceMatchesSerial(t *testing.T) {
+	p := EditDistance("ACGTACGT", "AGTTCGT", workload.SubUnit, 1)
+	runBoth(t, p, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+}
+
+func TestEditDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"A", "", 1},
+		{"", "ACG", 3},
+		{"ACGT", "ACGT", 0},
+		{"KITTEN", "SITTING", 3},
+		{"AC", "CA", 2}, // unit-cost substitution, no transposition
+	}
+	for _, c := range cases {
+		p := EditDistance(c.a, c.b, workload.SubUnit, 1)
+		if got := p.Serial(p.DefaultParams); got != c.want {
+			t.Errorf("edit(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCS3MatchesSerial(t *testing.T) {
+	p := LCS3("ACGTGCA", "AGGTCA", "ACTTCA")
+	runBoth(t, p, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+}
+
+func TestLCS3KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, c string
+		want    float64
+	}{
+		{"", "", "", 0},
+		{"A", "A", "A", 1},
+		{"ABC", "ABC", "ABC", 3},
+		{"ABC", "BCA", "CAB", 1},
+		{"ACGT", "TGCA", "GGCC", 1},
+	}
+	for _, c := range cases {
+		p := LCS3(c.a, c.b, c.c)
+		if got := p.Serial(p.DefaultParams); got != c.want {
+			t.Errorf("lcs3(%q,%q,%q) = %v, want %v", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestMSA3MatchesSerial(t *testing.T) {
+	p := MSA3("ACGTGC", "AGGTC", "ACTTC", workload.SubUnit, 1)
+	runBoth(t, p, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+}
+
+func TestMSA3KnownValues(t *testing.T) {
+	// Identical sequences align at zero cost.
+	p := MSA3("ACGT", "ACGT", "ACGT", workload.SubUnit, 1)
+	if got := p.Serial(p.DefaultParams); got != 0 {
+		t.Errorf("identical MSA cost = %v, want 0", got)
+	}
+	// One empty sequence: each of the other characters pays one gap to
+	// the empty sequence... both pairs with the empty sequence pay.
+	p = MSA3("AC", "AC", "", workload.SubUnit, 1)
+	if got := p.Serial(p.DefaultParams); got != 4 {
+		t.Errorf("MSA with empty seq = %v, want 4", got)
+	}
+}
+
+func TestMSA3ConsistentWithPairwise(t *testing.T) {
+	// Sum-of-pairs MSA cost is at least the sum of optimal pairwise
+	// distances (classical lower bound).
+	a, b, c := workload.DNA(12, 1), workload.DNA(11, 2), workload.DNA(10, 3)
+	msa := MSA3(a, b, c, workload.SubUnit, 1)
+	got := msa.Serial(msa.DefaultParams)
+	pair := func(x, y string) float64 {
+		p := EditDistance(x, y, workload.SubUnit, 1)
+		return p.Serial(p.DefaultParams)
+	}
+	lower := pair(a, b) + pair(a, c) + pair(b, c)
+	if got < lower-1e-9 {
+		t.Errorf("MSA cost %v below pairwise lower bound %v", got, lower)
+	}
+}
+
+func TestRegistryAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry problems at default sizes are not short")
+	}
+	for _, name := range Names() {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		params := p.DefaultParams
+		// Shrink the heavy bandits for test time.
+		if name == "bandit2" {
+			params = []int64{18}
+		}
+		if name == "bandit3" || name == "bandit2delay" {
+			params = []int64{8}
+		}
+		runBoth(t, p, params, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown problem should error")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	if workload.DNA(50, 7) != workload.DNA(50, 7) {
+		t.Error("DNA not deterministic")
+	}
+	if workload.DNA(50, 7) == workload.DNA(50, 8) {
+		t.Error("different seeds gave equal sequences")
+	}
+	for _, ch := range workload.DNA(200, 3) {
+		switch ch {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("bad nucleotide %q", ch)
+		}
+	}
+}
+
+func TestSubMatrices(t *testing.T) {
+	if workload.SubUnit('A', 'A') != 0 || workload.SubUnit('A', 'C') != 1 {
+		t.Error("SubUnit wrong")
+	}
+	if workload.SubTransition('A', 'G') != 0.5 || workload.SubTransition('A', 'T') != 1 ||
+		workload.SubTransition('C', 'C') != 0 {
+		t.Error("SubTransition wrong")
+	}
+}
+
+func TestSmithWatermanMatchesSerial(t *testing.T) {
+	p := SmithWaterman("ACGTACGGTA", "GGTACGATT", ScoreMatch21, 2)
+	tl, err := tiling.New(p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(tl, p.Kernel, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Serial(p.DefaultParams); res.Max != want {
+		t.Fatalf("engine max %v != serial %v", res.Max, want)
+	}
+}
+
+func TestSmithWatermanFindsPlantedMotif(t *testing.T) {
+	p := SmithWatermanSeeded(6)
+	got := p.Serial(p.DefaultParams)
+	// A planted 25-nt identical motif scores at least 2*25 minus noise
+	// effects; anything big confirms local alignment found it.
+	if got < 40 {
+		t.Errorf("local alignment score %v; planted motif should score >= 40", got)
+	}
+}
+
+func TestSmithWatermanKnown(t *testing.T) {
+	// Identical strings: score = 2*len.
+	p := SmithWaterman("ACGT", "ACGT", ScoreMatch21, 2)
+	if got := p.Serial(p.DefaultParams); got != 8 {
+		t.Errorf("identical local score %v, want 8", got)
+	}
+	// Disjoint alphabets: nothing aligns, score 0.
+	p = SmithWaterman("AAAA", "TTTT", ScoreMatch21, 2)
+	if got := p.Serial(p.DefaultParams); got != 0 {
+		t.Errorf("disjoint local score %v, want 0", got)
+	}
+}
+
+func TestLCS2MatchesSerial(t *testing.T) {
+	p := LCS2("ACGTACGTGG", "CGTTACGG")
+	runBoth(t, p, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+}
+
+func TestLCS2Known(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0}, {"A", "A", 1}, {"ABCBDAB", "BDCABA", 4}, {"AGGTAB", "GXTXAYB", 4},
+	}
+	for _, c := range cases {
+		p := LCS2(c.a, c.b)
+		if got := p.Serial(p.DefaultParams); got != c.want {
+			t.Errorf("lcs2(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCS2ConsistentWithLCS3(t *testing.T) {
+	// LCS of three strings is at most the LCS of any two.
+	a, b, c := workload.DNA(20, 1), workload.DNA(18, 2), workload.DNA(16, 3)
+	l3 := LCS3(a, b, c)
+	l2 := LCS2(a, b)
+	if l3.Serial(l3.DefaultParams) > l2.Serial(l2.DefaultParams) {
+		t.Error("LCS3 exceeds LCS2 upper bound")
+	}
+}
+
+func TestMSA4MatchesSerial(t *testing.T) {
+	p := MSA4("ACGTG", "AGGT", "ACTT", "CGT", workload.SubUnit, 1)
+	runBoth(t, p, p.DefaultParams, engine.Config{Nodes: 2, Threads: 2})
+}
+
+func TestMSA4Known(t *testing.T) {
+	// Identical sequences align free.
+	p := MSA4("ACG", "ACG", "ACG", "ACG", workload.SubUnit, 1)
+	if got := p.Serial(p.DefaultParams); got != 0 {
+		t.Errorf("identical MSA4 cost %v, want 0", got)
+	}
+}
+
+func TestMSA4AtLeastMSA3(t *testing.T) {
+	// Adding a fourth sequence cannot reduce the total sum-of-pairs cost
+	// below the 3-sequence optimum over the shared pairs... a weaker but
+	// always-true check: cost is at least the pairwise lower bound.
+	a, b, c, d := workload.DNA(8, 1), workload.DNA(8, 2), workload.DNA(7, 3), workload.DNA(7, 4)
+	m := MSA4(a, b, c, d, workload.SubUnit, 1)
+	got := m.Serial(m.DefaultParams)
+	var lower float64
+	pairs := [][2]string{{a, b}, {a, c}, {a, d}, {b, c}, {b, d}, {c, d}}
+	for _, pr := range pairs {
+		e := EditDistance(pr[0], pr[1], workload.SubUnit, 1)
+		lower += e.Serial(e.DefaultParams)
+	}
+	if got < lower-1e-9 {
+		t.Errorf("MSA4 cost %v below pairwise bound %v", got, lower)
+	}
+}

@@ -1,0 +1,216 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"dpgen/internal/lin"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+// box builds 0 <= x <= hx, 0 <= y <= hy.
+func box(s *lin.Space, hx, hy int64) *lin.System {
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, hx))
+	sys.AddGE(lin.Var(s, "y"), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "y"), lin.Const(s, hy))
+	return sys
+}
+
+func TestMinimizeBox(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x", "y"})
+	sys := box(s, 10, 5)
+	// min x + y = 0 at origin
+	sol := Minimize(sys, lin.Var(s, "x").Add(lin.Var(s, "y")))
+	if sol.Status != Optimal || sol.Value.Cmp(rat(0, 1)) != 0 {
+		t.Fatalf("min x+y: %v %v", sol.Status, sol.Value)
+	}
+	// max x + y = 15
+	sol = Maximize(sys, lin.Var(s, "x").Add(lin.Var(s, "y")))
+	if sol.Status != Optimal || sol.Value.Cmp(rat(15, 1)) != 0 {
+		t.Fatalf("max x+y: %v %v", sol.Status, sol.Value)
+	}
+	// min -2x + 3 = -17
+	sol = Minimize(sys, lin.Term(s, -2, "x").AddConst(3))
+	if sol.Status != Optimal || sol.Value.Cmp(rat(-17, 1)) != 0 {
+		t.Fatalf("min -2x+3: %v %v", sol.Status, sol.Value)
+	}
+}
+
+func TestMinimizeFractionalOptimum(t *testing.T) {
+	// min y s.t. 2y >= 1, y <= 5: optimum 1/2 (exact rational).
+	s := lin.MustSpace(nil, []string{"y"})
+	sys := lin.NewSystem(s)
+	// 2y - 1 >= 0: add without tightening (Add would tighten to y >= 1).
+	sys.Ineqs = append(sys.Ineqs, lin.Ineq{Expr: lin.Term(s, 2, "y").AddConst(-1)})
+	sys.AddLE(lin.Var(s, "y"), lin.Const(s, 5))
+	sol := Minimize(sys, lin.Var(s, "y"))
+	if sol.Status != Optimal || sol.Value.Cmp(rat(1, 2)) != 0 {
+		t.Fatalf("got %v %v, want 1/2", sol.Status, sol.Value)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Zero(s))
+	sol := Minimize(sys, lin.Var(s, "x").Neg()) // min -x, x >= 0
+	if sol.Status != Unbounded {
+		t.Fatalf("want unbounded, got %v", sol.Status)
+	}
+	sol = Maximize(sys, lin.Var(s, "x"))
+	if sol.Status != Unbounded {
+		t.Fatalf("max: want unbounded, got %v", sol.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 5))
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 3))
+	if Feasible(sys) {
+		t.Fatal("infeasible system reported feasible")
+	}
+	sol := Minimize(sys, lin.Var(s, "x"))
+	if sol.Status != Infeasible {
+		t.Fatalf("want infeasible, got %v", sol.Status)
+	}
+}
+
+func TestFeasibleEmptySystem(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	if !Feasible(lin.NewSystem(s)) {
+		t.Fatal("empty system should be feasible")
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// min x s.t. x >= -7 (negative optimum requires free-variable handling).
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, -7))
+	sol := Minimize(sys, lin.Var(s, "x"))
+	if sol.Status != Optimal || sol.Value.Cmp(rat(-7, 1)) != 0 {
+		t.Fatalf("got %v %v, want -7", sol.Status, sol.Value)
+	}
+}
+
+func TestPointSatisfiesSystem(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x", "y"})
+	sys := box(s, 10, 5)
+	sys.AddGE(lin.Var(s, "x").Add(lin.Var(s, "y")), lin.Const(s, 3))
+	sol := Minimize(sys, lin.Var(s, "x").Add(lin.Term(s, 2, "y")))
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Check the returned point satisfies every inequality (rationally).
+	for _, q := range sys.Ineqs {
+		acc := new(big.Rat).SetInt64(q.K)
+		for j := 0; j < s.N(); j++ {
+			c := q.CoeffAt(j)
+			if c != 0 {
+				term := new(big.Rat).Mul(big.NewRat(c, 1), sol.Point[j])
+				acc.Add(acc, term)
+			}
+		}
+		if acc.Sign() < 0 {
+			t.Errorf("optimal point violates %v: %v", q, acc)
+		}
+	}
+	// min x+2y with x+y >= 3 inside the box is 3 at (3, 0).
+	if sol.Value.Cmp(rat(3, 1)) != 0 {
+		t.Errorf("value = %v, want 3", sol.Value)
+	}
+}
+
+func TestRedundant(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 5)) // x >= 5
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 3)) // x >= 3, redundant
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 9)) // x <= 9, not redundant
+	if Redundant(sys, 0) {
+		t.Error("x >= 5 wrongly redundant")
+	}
+	if !Redundant(sys, 1) {
+		t.Error("x >= 3 should be redundant")
+	}
+	if Redundant(sys, 2) {
+		t.Error("x <= 9 wrongly redundant")
+	}
+}
+
+func TestRedundantOfInfeasibleRest(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, 5))
+	sys.AddLE(lin.Var(s, "x"), lin.Const(s, 3))
+	sys.AddGE(lin.Var(s, "x"), lin.Const(s, -100))
+	// Removing index 2 leaves an infeasible system; the inequality is
+	// vacuously redundant.
+	if !Redundant(sys, 2) {
+		t.Error("inequality over infeasible rest should be redundant")
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A degenerate vertex (many constraints through origin); Bland's rule
+	// must terminate.
+	s := lin.MustSpace(nil, []string{"x", "y", "z"})
+	sys := lin.NewSystem(s)
+	for _, v := range []string{"x", "y", "z"} {
+		sys.AddGE(lin.Var(s, v), lin.Zero(s))
+	}
+	sys.AddLE(lin.Var(s, "x").Add(lin.Var(s, "y")), lin.Zero(s))
+	sys.AddLE(lin.Var(s, "y").Add(lin.Var(s, "z")), lin.Zero(s))
+	sol := Minimize(sys, lin.Var(s, "x").Add(lin.Var(s, "y")).Add(lin.Var(s, "z")))
+	if sol.Status != Optimal || sol.Value.Sign() != 0 {
+		t.Fatalf("got %v %v, want optimal 0", sol.Status, sol.Value)
+	}
+}
+
+func TestParamsAreFreeInRedundancy(t *testing.T) {
+	// Over space (N | x): x <= N and x <= N+5; the latter is redundant for
+	// every N.
+	s := lin.MustSpace([]string{"N"}, []string{"x"})
+	sys := lin.NewSystem(s)
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "N"))
+	sys.AddLE(lin.Var(s, "x"), lin.Var(s, "N").AddConst(5))
+	if !Redundant(sys, 1) {
+		t.Error("x <= N+5 should be redundant given x <= N")
+	}
+	if Redundant(sys, 0) {
+		t.Error("x <= N wrongly redundant")
+	}
+}
+
+// Property: for random 1-D systems a <= x <= b, Minimize(x) returns a when
+// a <= b and Infeasible otherwise.
+func TestMinimizeIntervalProperty(t *testing.T) {
+	s := lin.MustSpace(nil, []string{"x"})
+	f := func(a, b int16) bool {
+		sys := lin.NewSystem(s)
+		sys.AddGE(lin.Var(s, "x"), lin.Const(s, int64(a)))
+		sys.AddLE(lin.Var(s, "x"), lin.Const(s, int64(b)))
+		sol := Minimize(sys, lin.Var(s, "x"))
+		if a > b {
+			return sol.Status == Infeasible
+		}
+		return sol.Status == Optimal && sol.Value.Cmp(rat(int64(a), 1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Unbounded, Infeasible, Status(9)} {
+		if s.String() == "" {
+			t.Error("empty Status string")
+		}
+	}
+}

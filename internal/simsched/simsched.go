@@ -1,0 +1,548 @@
+// Package simsched is a deterministic discrete-event simulator of the
+// generated hybrid programs. It replays the exact tile DAG, ownership
+// map, priority policy and communication pattern that the real runtime
+// (dpgen/internal/engine) executes, against a calibrated cost model of
+// cores, NICs and links — substituting for the paper's 8-node, 24-core
+// testbed, which this reproduction does not have.
+//
+// The simulator is what regenerates the scaling figures (Figures 6 and 7)
+// and the tile-size and buffer-count sweeps of Section VI-C: those
+// results are properties of the DAG shape, the static load balance, the
+// pipeline structure and the compute/communication ratio, all of which
+// are preserved here; only the absolute constants are the model's.
+package simsched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/engine"
+	"dpgen/internal/tiling"
+)
+
+// CostModel holds the simulated machine constants, in seconds.
+type CostModel struct {
+	// CellTime is the compute time per iteration-space cell.
+	CellTime float64
+	// TileOverhead is the per-tile scheduling/allocation cost.
+	TileOverhead float64
+	// ElemCPU is the per-element pack/unpack CPU cost (charged on both
+	// the producing and consuming core).
+	ElemCPU float64
+	// ElemWire is the per-element wire time (inverse bandwidth).
+	ElemWire float64
+	// MsgLatency is the per-message latency between nodes.
+	MsgLatency float64
+	// CoreContention models shared memory-bandwidth pressure: the
+	// effective per-cell (and per-element CPU) time is multiplied by
+	// 1 + CoreContention*(Cores-1). Dynamic programming cells are
+	// memory-bound, so a fully loaded 24-core node runs each core
+	// slightly slower than a lone core — the effect that keeps the
+	// paper's 24-core speedups near 22 rather than 24.
+	CoreContention float64
+}
+
+// DefaultCostModel returns constants representative of the paper's era
+// (2011 cluster: ~GHz cores, DDR InfiniBand-class interconnect).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CellTime:       40e-9,
+		TileOverhead:   5e-6,
+		ElemCPU:        2e-9,
+		ElemWire:       5e-9,
+		MsgLatency:     20e-6,
+		CoreContention: 0.003,
+	}
+}
+
+// Config selects the simulated machine and runtime policies.
+type Config struct {
+	Nodes    int // MPI ranks (default 1)
+	Cores    int // cores per node (default 1)
+	SendBufs int // in-flight sends per node before the sender stalls (default 16)
+	Priority engine.Priority
+	Balance  balance.Method
+	Cost     CostModel // zero value means DefaultCostModel
+	// Cache, if non-nil, memoizes per-tile cell and edge counts across
+	// Simulate calls. A cache is only valid for one (tiling, params)
+	// pair; the caller owns that scoping.
+	Cache *CostCache
+	// Assign, if non-nil, overrides the load-balance computation (it
+	// must have been built for the same tiling, params and node count).
+	Assign *balance.Assignment
+	// ReverseKey flips the column-major key orientation to prefer the
+	// least-advanced tiles — the naive reading of "column-major" that
+	// starves the cross-node pipeline. Exists to demonstrate the
+	// priority-orientation finding (see EXPERIMENTS.md fig7).
+	ReverseKey bool
+}
+
+// CostCache memoizes tile geometry counts for repeated simulations of
+// the same problem instance (e.g. a thread-count sweep).
+type CostCache struct {
+	cells map[string]int64
+	edges map[string]int64
+}
+
+// NewCostCache creates an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{cells: map[string]int64{}, edges: map[string]int64{}}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 1
+	}
+	if c.SendBufs == 0 {
+		c.SendBufs = 16
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	return c
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Makespan is the simulated completion time in seconds.
+	Makespan float64
+	// SerialWork is the sum of all tile costs: the one-core, zero-
+	// communication lower bound used for speedup calculations.
+	SerialWork float64
+	// BusyTime is total core-busy seconds per node.
+	BusyTime []float64
+	// IdleFrac is the idle fraction per node over the makespan.
+	IdleFrac []float64
+	// PeakPendingEdges is the per-node maximum number of buffered edges.
+	PeakPendingEdges []int64
+	// Messages and Elems count remote edge traffic.
+	Messages, Elems int64
+	// TotalCells is the iteration-space size.
+	TotalCells int64
+	// TilesExecuted counts tiles (all of them, across nodes).
+	TilesExecuted int64
+}
+
+// Speedup returns SerialWork / Makespan.
+func (r *Result) Speedup() float64 { return r.SerialWork / r.Makespan }
+
+// simTile is the simulator's per-tile state.
+type simTile struct {
+	tile      []int64
+	remaining int
+	inElems   int64 // received edge elements (unpack cost)
+	key       []int64
+	level     int64
+	seq       int64
+	index     int
+}
+
+// readyHeap mirrors the engine's priority queue.
+type readyHeap struct {
+	items []*simTile
+	prio  engine.Priority
+}
+
+func (h *readyHeap) Len() int { return len(h.items) }
+func (h *readyHeap) Less(a, b int) bool {
+	x, y := h.items[a], h.items[b]
+	switch h.prio {
+	case engine.FIFO:
+		return x.seq < y.seq
+	case engine.LevelSet:
+		if x.level != y.level {
+			return x.level < y.level
+		}
+	}
+	for k := range x.key {
+		if x.key[k] != y.key[k] {
+			return x.key[k] < y.key[k]
+		}
+	}
+	return x.seq < y.seq
+}
+func (h *readyHeap) Swap(a, b int) {
+	h.items[a], h.items[b] = h.items[b], h.items[a]
+	h.items[a].index = a
+	h.items[b].index = b
+}
+func (h *readyHeap) Push(v any) {
+	p := v.(*simTile)
+	p.index = len(h.items)
+	h.items = append(h.items, p)
+}
+func (h *readyHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return p
+}
+
+// event is a point in simulated time.
+type event struct {
+	at   float64
+	seq  int64
+	kind int // 0 = tile finish, 1 = message arrival
+	node int
+	tile *simTile // finish: the finished tile; arrival: the consumer
+	dep  int      // arrival: tile dependence index
+	data int64    // arrival: element count
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].seq < h[b].seq
+}
+func (h eventHeap) Swap(a, b int)     { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(v any)       { *h = append(*h, v.(*event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e *event)    { heap.Push(h, e) }
+func (h *eventHeap) popEvent() *event { return heap.Pop(h).(*event) }
+func (h *eventHeap) empty() bool      { return h.Len() == 0 }
+
+// simNode is the per-node simulator state.
+type simNode struct {
+	ready     readyHeap
+	pending   map[string]*simTile
+	freeCores int
+	busy      float64
+	seq       int64
+
+	// NIC model: sends serialize on the wire; SendBufs slots gate how
+	// far the cores can run ahead of the wire.
+	nicFree   float64
+	slotTimes []float64
+	nextSlot  int
+
+	pendingEdges int64
+	peakEdges    int64
+	executed     int64
+	owned        int64
+}
+
+type sim struct {
+	tl      *tiling.Tiling
+	params  []int64
+	cfg     Config
+	assign  *balance.Assignment
+	nodes   []*simNode
+	events  eventHeap
+	eseq    int64
+	keyDims []int
+	now     float64
+	res     Result
+}
+
+// Simulate runs the model to completion.
+func Simulate(tl *tiling.Tiling, params []int64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	assign := cfg.Assign
+	if assign == nil {
+		var err error
+		assign, err = balance.Build(tl, params, cfg.Nodes, cfg.Balance)
+		if err != nil {
+			return nil, err
+		}
+	} else if assign.Nodes != cfg.Nodes {
+		return nil, fmt.Errorf("simsched: assignment built for %d nodes, config wants %d", assign.Nodes, cfg.Nodes)
+	}
+	s := &sim{tl: tl, params: params, cfg: cfg, assign: assign}
+	s.buildKeyDims()
+	s.nodes = make([]*simNode, cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = &simNode{
+			ready:     readyHeap{prio: cfg.Priority},
+			pending:   make(map[string]*simTile),
+			freeCores: cfg.Cores,
+			slotTimes: make([]float64, cfg.SendBufs),
+		}
+	}
+
+	// Initial tiles and ownership.
+	tl.ForEachTile(params, func(t []int64) bool {
+		owner := assign.Owner(t)
+		s.nodes[owner].owned++
+		if tl.DepCount(params, t) == 0 {
+			st := s.newSimTile(t, 0)
+			n := s.nodes[owner]
+			st.seq = n.seq
+			n.seq++
+			heap.Push(&n.ready, st)
+		}
+		return true
+	})
+
+	// Start as many tiles as there are free cores.
+	for id := range s.nodes {
+		s.dispatch(id)
+	}
+	if s.events.empty() {
+		return nil, fmt.Errorf("simsched: nothing to execute for params %v", params)
+	}
+
+	for !s.events.empty() {
+		e := s.events.popEvent()
+		s.now = e.at
+		switch e.kind {
+		case 0:
+			s.finishTile(e)
+		case 1:
+			s.arrive(e)
+		case 2: // a core blocked in Send becomes free
+			s.nodes[e.node].freeCores++
+			s.dispatch(e.node)
+		}
+	}
+
+	var total int64
+	for id, n := range s.nodes {
+		if n.executed != n.owned {
+			return nil, fmt.Errorf("simsched: node %d executed %d of %d tiles (deadlocked DAG?)", id, n.executed, n.owned)
+		}
+		total += n.executed
+	}
+	s.res.TilesExecuted = total
+	s.res.Makespan = s.now
+	s.res.BusyTime = make([]float64, cfg.Nodes)
+	s.res.IdleFrac = make([]float64, cfg.Nodes)
+	s.res.PeakPendingEdges = make([]int64, cfg.Nodes)
+	for i, n := range s.nodes {
+		s.res.BusyTime[i] = n.busy
+		if s.now > 0 {
+			s.res.IdleFrac[i] = 1 - n.busy/(float64(cfg.Cores)*s.now)
+		}
+		s.res.PeakPendingEdges[i] = n.peakEdges
+	}
+	return &s.res, nil
+}
+
+func (s *sim) buildKeyDims() {
+	inLB := map[int]bool{}
+	for _, k := range s.tl.LBIndices() {
+		s.keyDims = append(s.keyDims, k)
+		inLB[k] = true
+	}
+	for _, v := range s.tl.Spec.Order() {
+		k := s.tl.Spec.VarIndex(v)
+		if !inLB[k] {
+			s.keyDims = append(s.keyDims, k)
+		}
+	}
+}
+
+func (s *sim) newSimTile(t []int64, remaining int) *simTile {
+	st := &simTile{tile: append([]int64(nil), t...), remaining: remaining}
+	st.key = make([]int64, len(s.keyDims))
+	for i, k := range s.keyDims {
+		// Most-advanced-first orientation; see engine.makeKey.
+		if (s.tl.ExecDirs[k] < 0) != s.cfg.ReverseKey {
+			st.key[i] = t[k]
+		} else {
+			st.key[i] = -t[k]
+		}
+	}
+	for _, v := range st.key {
+		st.level -= v
+	}
+	return st
+}
+
+// dispatch starts ready tiles on free cores of node id.
+func (s *sim) dispatch(id int) {
+	n := s.nodes[id]
+	for n.freeCores > 0 && n.ready.Len() > 0 {
+		st := heap.Pop(&n.ready).(*simTile)
+		n.freeCores--
+		cost := s.tileCost(st)
+		n.busy += cost
+		s.res.SerialWork += cost
+		s.eseq++
+		s.events.push(&event{at: s.now + cost, seq: s.eseq, kind: 0, node: id, tile: st})
+	}
+}
+
+// tileCost models one tile's core time: overhead + cells + pack/unpack.
+func (s *sim) tileCost(st *simTile) float64 {
+	cells := s.cellCount(st.tile)
+	s.res.TotalCells += cells
+	var outElems int64
+	probe := make([]int64, len(st.tile))
+	for j := range s.tl.TileDeps {
+		for k := range st.tile {
+			probe[k] = st.tile[k] - s.tl.TileDeps[j].Offset[k]
+		}
+		if s.tl.InTileSpace(s.params, probe) {
+			outElems += s.edgeSize(st.tile, j)
+		}
+	}
+	c := s.cfg.Cost
+	contention := 1 + c.CoreContention*float64(s.cfg.Cores-1)
+	return c.TileOverhead + float64(cells)*c.CellTime*contention +
+		float64(st.inElems+outElems)*c.ElemCPU*contention
+}
+
+// cellCount and edgeSize consult the optional cross-run cache.
+func (s *sim) cellCount(tile []int64) int64 {
+	if s.cfg.Cache == nil {
+		return s.tl.CellCount(s.params, tile)
+	}
+	k := tileKey(tile)
+	if v, ok := s.cfg.Cache.cells[k]; ok {
+		return v
+	}
+	v := s.tl.CellCount(s.params, tile)
+	s.cfg.Cache.cells[k] = v
+	return v
+}
+
+func (s *sim) edgeSize(tile []int64, dep int) int64 {
+	if s.cfg.Cache == nil {
+		return s.tl.EdgeSize(s.params, tile, dep)
+	}
+	k := tileKey(tile) + "|" + string(rune('0'+dep))
+	if v, ok := s.cfg.Cache.edges[k]; ok {
+		return v
+	}
+	v := s.tl.EdgeSize(s.params, tile, dep)
+	s.cfg.Cache.edges[k] = v
+	return v
+}
+
+// finishTile delivers the finished tile's edges and frees its core.
+func (s *sim) finishTile(e *event) {
+	n := s.nodes[e.node]
+	st := e.tile
+	n.executed++
+	coreTime := s.now
+	probe := make([]int64, len(st.tile))
+	for j := range s.tl.TileDeps {
+		for k := range st.tile {
+			probe[k] = st.tile[k] - s.tl.TileDeps[j].Offset[k]
+		}
+		if !s.tl.InTileSpace(s.params, probe) {
+			continue
+		}
+		elems := s.edgeSize(st.tile, j)
+		owner := s.assign.Owner(probe)
+		if owner == e.node {
+			s.deliver(owner, probe, j, elems, s.now)
+			continue
+		}
+		// Remote: wait for a send-buffer slot if necessary (this is the
+		// Section VI-C buffer effect), serialize on the NIC, add latency.
+		// A slot is held until the receiver consumes the message — the
+		// MPI buffered-send semantics the generated programs rely on —
+		// so with too few buffers a send degenerates to a rendezvous.
+		c := s.cfg.Cost
+		slotFree := n.slotTimes[n.nextSlot]
+		if slotFree > coreTime {
+			coreTime = slotFree // the core blocks in Send
+		}
+		start := coreTime
+		if n.nicFree > start {
+			start = n.nicFree
+		}
+		wireDone := start + float64(elems)*c.ElemWire
+		n.slotTimes[n.nextSlot] = wireDone + c.MsgLatency // freed at delivery
+		n.nextSlot = (n.nextSlot + 1) % len(n.slotTimes)
+		n.nicFree = wireDone
+		s.res.Messages++
+		s.res.Elems += elems
+		s.eseq++
+		s.events.push(&event{
+			at: wireDone + c.MsgLatency, seq: s.eseq, kind: 1,
+			node: owner, tile: s.consumerStub(probe), dep: j, data: elems,
+		})
+	}
+	if coreTime > s.now {
+		// The core was additionally occupied while blocked in Send
+		// (all send buffers in flight); release it when the slot frees.
+		n.busy += coreTime - s.now
+		s.eseq++
+		s.events.push(&event{at: coreTime, seq: s.eseq, kind: 2, node: e.node})
+		return
+	}
+	n.freeCores++
+	s.dispatch(e.node)
+}
+
+// consumerStub wraps a consumer tile index for an arrival event.
+func (s *sim) consumerStub(t []int64) *simTile {
+	return &simTile{tile: append([]int64(nil), t...)}
+}
+
+// arrive processes a remote edge arrival at its consumer node.
+func (s *sim) arrive(e *event) {
+	s.deliver(e.node, e.tile.tile, e.dep, e.data, s.now)
+	s.dispatch(e.node)
+}
+
+// deliver records an edge for a consumer tile and readies it when all
+// dependencies have arrived.
+func (s *sim) deliver(id int, consumer []int64, dep int, elems int64, at float64) {
+	n := s.nodes[id]
+	k := tileKey(consumer)
+	st := n.pending[k]
+	if st == nil {
+		st = s.newSimTile(consumer, s.tl.DepCount(s.params, consumer))
+		n.pending[k] = st
+	}
+	st.remaining--
+	st.inElems += elems
+	n.pendingEdges++
+	if n.pendingEdges > n.peakEdges {
+		n.peakEdges = n.pendingEdges
+	}
+	if st.remaining == 0 {
+		delete(n.pending, k)
+		// Its buffered edges are consumed when execution starts; account
+		// them as released at dispatch. Simplification: release now.
+		n.pendingEdges -= int64(countEdges(s.tl, s.params, st.tile))
+		st.seq = n.seq
+		n.seq++
+		heap.Push(&n.ready, st)
+		s.dispatch(id)
+	}
+}
+
+func countEdges(tl *tiling.Tiling, params []int64, t []int64) int {
+	return tl.DepCount(params, t)
+}
+
+func tileKey(t []int64) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = appendInt(b, v)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,230 @@
+package simsched
+
+import (
+	"testing"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/spec"
+	"dpgen/internal/tiling"
+)
+
+func bandit2Tiling(t testing.TB, w int64, lb []string) *tiling.Tiling {
+	t.Helper()
+	sp := spec.MustNew("bandit2", []string{"N"}, []string{"s1", "f1", "s2", "f2"})
+	sp.MustConstrain("s1 + f1 + s2 + f2 <= N")
+	for _, v := range sp.Vars {
+		sp.MustConstrain(v + " >= 0")
+	}
+	sp.AddDep("r1", 1, 0, 0, 0)
+	sp.AddDep("r2", 0, 1, 0, 0)
+	sp.AddDep("r3", 0, 0, 1, 0)
+	sp.AddDep("r4", 0, 0, 0, 1)
+	sp.TileWidths = []int64{w, w, w, w}
+	sp.LBDims = lb
+	tl, err := tiling.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestSimulateCompletesAllTiles(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1", "f1"})
+	N := int64(24)
+	res, err := Simulate(tl, []int64{N}, Config{Nodes: 2, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TilesExecuted != tl.TileCount([]int64{N}) {
+		t.Errorf("executed %d tiles, want %d", res.TilesExecuted, tl.TileCount([]int64{N}))
+	}
+	want := (N + 1) * (N + 2) * (N + 3) * (N + 4) / 24
+	if res.TotalCells != want {
+		t.Errorf("cells %d, want %d", res.TotalCells, want)
+	}
+	if res.Makespan <= 0 || res.SerialWork <= 0 {
+		t.Errorf("times: makespan=%v serial=%v", res.Makespan, res.SerialWork)
+	}
+}
+
+func TestSingleCoreMakespanEqualsSerialWork(t *testing.T) {
+	tl := bandit2Tiling(t, 4, nil)
+	res, err := Simulate(tl, []int64{16}, Config{Nodes: 1, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Makespan - res.SerialWork; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("1-core makespan %v != serial work %v", res.Makespan, res.SerialWork)
+	}
+	if res.Messages != 0 {
+		t.Errorf("single node sent %d messages", res.Messages)
+	}
+	if res.IdleFrac[0] > 1e-9 {
+		t.Errorf("single core idle frac %v", res.IdleFrac[0])
+	}
+}
+
+func TestSpeedupMonotoneInCores(t *testing.T) {
+	tl := bandit2Tiling(t, 5, []string{"s1", "f1"})
+	N := int64(60)
+	prev := 0.0
+	for _, cores := range []int{1, 4, 12, 24} {
+		res, err := Simulate(tl, []int64{N}, Config{Nodes: 1, Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := res.Speedup()
+		if sp < prev*0.999 {
+			t.Errorf("speedup fell from %v to %v at %d cores", prev, sp, cores)
+		}
+		if sp > float64(cores) {
+			t.Errorf("superlinear speedup %v on %d cores", sp, cores)
+		}
+		prev = sp
+	}
+	if prev < 6 {
+		t.Errorf("24-core speedup only %.1f for N=%d; DAG or scheduler defect?", prev, N)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1"})
+	cfg := Config{Nodes: 3, Cores: 4}
+	a, err := Simulate(tl, []int64{20}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tl, []int64{20}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Messages != b.Messages || a.SerialWork != b.SerialWork {
+		t.Errorf("nondeterministic simulation: %+v vs %+v", a, b)
+	}
+}
+
+func TestWeakScalingEfficiencyReasonable(t *testing.T) {
+	// Scale the problem so locations per node stay roughly constant and
+	// check time-per-location-normalized efficiency stays high — the
+	// Figure 7 measurement at small scale.
+	tl := bandit2Tiling(t, 5, []string{"s1", "f1"})
+	base, err := Simulate(tl, []int64{50}, Config{Nodes: 1, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes: N for ~2x locations: 50 * 2^(1/4) ~ 60.
+	two, err := Simulate(tl, []int64{60}, Config{Nodes: 2, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLoc1 := base.Makespan / float64(base.TotalCells)
+	perLoc2 := two.Makespan * 2 / float64(two.TotalCells)
+	eff := perLoc1 / perLoc2
+	if eff < 0.5 || eff > 1.05 {
+		t.Errorf("2-node weak efficiency %.2f out of plausible range", eff)
+	}
+}
+
+func TestFewerSendBufsSlower(t *testing.T) {
+	// With a high-communication configuration, 1 send buffer must not be
+	// faster than 8 (Section VI-C).
+	tl := bandit2Tiling(t, 4, []string{"s1"})
+	cost := DefaultCostModel()
+	cost.ElemWire = 2e-6 // strongly communication-bound
+	cost.MsgLatency = 1e-3
+	one, err := Simulate(tl, []int64{30}, Config{Nodes: 4, Cores: 4, SendBufs: 1, Cost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Simulate(tl, []int64{30}, Config{Nodes: 4, Cores: 4, SendBufs: 8, Cost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan < eight.Makespan*0.999 {
+		t.Errorf("1 buffer (%v) faster than 8 buffers (%v)", one.Makespan, eight.Makespan)
+	}
+}
+
+func TestPriorityPoliciesComplete(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1"})
+	for _, p := range []engine.Priority{engine.ColumnMajor, engine.LevelSet, engine.FIFO} {
+		res, err := Simulate(tl, []int64{16}, Config{Nodes: 2, Cores: 2, Priority: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.TilesExecuted != tl.TileCount([]int64{16}) {
+			t.Errorf("%v: executed %d tiles", p, res.TilesExecuted)
+		}
+	}
+}
+
+func TestBusyTimeConservation(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1", "f1"})
+	cfg := Config{Nodes: 3, Cores: 4}
+	res, err := Simulate(tl, []int64{24}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy float64
+	for _, b := range res.BusyTime {
+		busy += b
+	}
+	// Busy time is at least the serial work (plus blocked-send time) and
+	// at most cores * makespan.
+	if busy < res.SerialWork*0.999 {
+		t.Errorf("busy %v < serial work %v", busy, res.SerialWork)
+	}
+	if busy > float64(cfg.Nodes*cfg.Cores)*res.Makespan*1.001 {
+		t.Errorf("busy %v exceeds capacity %v", busy, float64(cfg.Nodes*cfg.Cores)*res.Makespan)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tl := bandit2Tiling(t, 6, nil)
+	if _, err := Simulate(tl, []int64{12}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostCacheConsistent(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1"})
+	cache := NewCostCache()
+	cfg := Config{Nodes: 2, Cores: 4, Cache: cache}
+	a, err := Simulate(tl, []int64{20}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tl, []int64{20}, cfg) // warm cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocache, err := Simulate(tl, []int64{20}, Config{Nodes: 2, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Makespan != nocache.Makespan {
+		t.Errorf("cache changed results: %v %v %v", a.Makespan, b.Makespan, nocache.Makespan)
+	}
+	if len(cache.cells) == 0 {
+		t.Error("cache unused")
+	}
+}
+
+// TestReverseKeyStarvesPipeline: the naive key orientation must cost
+// real time at multi-node scale (the EXPERIMENTS.md prio finding).
+func TestReverseKeyStarvesPipeline(t *testing.T) {
+	tl := bandit2Tiling(t, 6, []string{"s1", "f1"})
+	N := int64(120)
+	cache := NewCostCache()
+	fwd, err := Simulate(tl, []int64{N}, Config{Nodes: 4, Cores: 24, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := Simulate(tl, []int64{N}, Config{Nodes: 4, Cores: 24, Cache: cache, ReverseKey: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Makespan < fwd.Makespan*1.2 {
+		t.Errorf("reversed key makespan %.5f not clearly worse than %.5f", rev.Makespan, fwd.Makespan)
+	}
+}

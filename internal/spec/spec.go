@@ -1,0 +1,280 @@
+// Package spec defines the problem description a user supplies to the
+// program generator (Section IV-A of the paper): loop variables, input
+// parameters, the linear inequalities of the iteration space, the
+// template dependence vectors, the loop ordering, the load-balancing
+// dimensions, per-dimension tile widths, and the user's center-loop /
+// initialization / global code fragments.
+//
+// Specs can be built programmatically or parsed from the generator's
+// text input format (see Parse).
+package spec
+
+import (
+	"fmt"
+
+	"dpgen/internal/ints"
+	"dpgen/internal/lin"
+)
+
+// Dep is a template dependence vector: f(x) depends on f(x + Vec).
+type Dep struct {
+	Name string
+	Vec  []int64 // indexed like Vars
+}
+
+// Spec is a complete problem description.
+type Spec struct {
+	// Name identifies the problem (used for generated symbols).
+	Name string
+	// Params are the input parameter names (e.g. N).
+	Params []string
+	// Vars are the loop variable names, in declaration order.
+	Vars []string
+	// Constraints are the iteration-space inequalities over Space().
+	Constraints []lin.Ineq
+	// Deps are the template dependence vectors.
+	Deps []Dep
+	// LoopOrder is the loop nesting order, outermost first. Empty means Vars.
+	LoopOrder []string
+	// LBDims are the load-balancing dimensions in priority order
+	// (lb1 highest). Empty means the first loop variable.
+	LBDims []string
+	// TileWidths holds w_k per variable (in Vars order). Zero entries
+	// default to 8.
+	TileWidths []int64
+	// Elem is the state array element type for generated code
+	// ("float64" or "float32"); the in-process engine always uses float64.
+	Elem string
+	// Goal is the location whose value the program reports (the paper's
+	// f(0)); nil means the origin.
+	Goal []int64
+	// GlobalCode, InitCode and KernelCode are Go fragments for the code
+	// generator: package-level declarations, initialization statements,
+	// and the center-loop body.
+	GlobalCode, InitCode, KernelCode string
+
+	space *lin.Space
+}
+
+// New creates a spec with the given names and builds its space.
+func New(name string, params, vars []string) (*Spec, error) {
+	sp := &Spec{Name: name, Params: params, Vars: vars}
+	space, err := lin.NewSpace(params, vars)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: %w", name, err)
+	}
+	sp.space = space
+	return sp, nil
+}
+
+// MustNew is New that panics on error, for fixed built-in problems.
+func MustNew(name string, params, vars []string) *Spec {
+	sp, err := New(name, params, vars)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Space returns the (params | vars) space of the problem.
+func (sp *Spec) Space() *lin.Space { return sp.space }
+
+// System returns the iteration-space inequality system.
+func (sp *Spec) System() *lin.System {
+	sys := lin.NewSystem(sp.space)
+	sys.Add(sp.Constraints...)
+	return sys
+}
+
+// Constrain parses and appends a constraint written in the input syntax,
+// e.g. "s1 + f1 + s2 + f2 <= N".
+func (sp *Spec) Constrain(text string) error {
+	qs, err := ParseConstraint(sp.space, text)
+	if err != nil {
+		return err
+	}
+	sp.Constraints = append(sp.Constraints, qs...)
+	return nil
+}
+
+// MustConstrain is Constrain that panics on error.
+func (sp *Spec) MustConstrain(text string) {
+	if err := sp.Constrain(text); err != nil {
+		panic(err)
+	}
+}
+
+// AddDep appends a template dependence vector.
+func (sp *Spec) AddDep(name string, vec ...int64) {
+	sp.Deps = append(sp.Deps, Dep{Name: name, Vec: vec})
+}
+
+// Order returns the effective loop order (LoopOrder or Vars).
+func (sp *Spec) Order() []string {
+	if len(sp.LoopOrder) > 0 {
+		return sp.LoopOrder
+	}
+	return sp.Vars
+}
+
+// Balance returns the effective load-balancing dimensions.
+func (sp *Spec) Balance() []string {
+	if len(sp.LBDims) > 0 {
+		return sp.LBDims
+	}
+	return sp.Order()[:1]
+}
+
+// Widths returns the effective tile widths in Vars order, applying the
+// default of 8 and ensuring each is at least the template reach.
+func (sp *Spec) Widths() []int64 {
+	w := make([]int64, len(sp.Vars))
+	for i := range w {
+		if i < len(sp.TileWidths) && sp.TileWidths[i] > 0 {
+			w[i] = sp.TileWidths[i]
+		} else {
+			w[i] = 8
+		}
+	}
+	return w
+}
+
+// GoalPoint returns the goal location (defaulting to the origin).
+func (sp *Spec) GoalPoint() []int64 {
+	if sp.Goal != nil {
+		return sp.Goal
+	}
+	return make([]int64, len(sp.Vars))
+}
+
+// ElemType returns the state element type for generated code.
+func (sp *Spec) ElemType() string {
+	if sp.Elem == "" {
+		return "float64"
+	}
+	return sp.Elem
+}
+
+// Reach returns, per variable, the maximum positive and negative template
+// components: hi[k] = max(0, max_r r_k), lo[k] = max(0, max_r -r_k).
+// These set the ghost-cell shell thickness.
+func (sp *Spec) Reach() (lo, hi []int64) {
+	d := len(sp.Vars)
+	lo, hi = make([]int64, d), make([]int64, d)
+	for _, dep := range sp.Deps {
+		for k, r := range dep.Vec {
+			if r > 0 {
+				hi[k] = ints.Max(hi[k], r)
+			} else if r < 0 {
+				lo[k] = ints.Max(lo[k], -r)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Validate checks structural consistency: dependence vectors have the
+// right arity and are nonzero, names are unique and known, tile widths
+// cover the template reach, the goal has the right arity, and the loop
+// order and balance dims name real variables.
+func (sp *Spec) Validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("spec: missing name")
+	}
+	if len(sp.Vars) == 0 {
+		return fmt.Errorf("spec %q: no loop variables", sp.Name)
+	}
+	if len(sp.Constraints) == 0 {
+		return fmt.Errorf("spec %q: no constraints", sp.Name)
+	}
+	if len(sp.Deps) == 0 {
+		return fmt.Errorf("spec %q: no template dependence vectors", sp.Name)
+	}
+	depNames := map[string]bool{}
+	for _, dep := range sp.Deps {
+		if dep.Name == "" {
+			return fmt.Errorf("spec %q: unnamed dependence", sp.Name)
+		}
+		if depNames[dep.Name] {
+			return fmt.Errorf("spec %q: duplicate dependence %q", sp.Name, dep.Name)
+		}
+		depNames[dep.Name] = true
+		if len(dep.Vec) != len(sp.Vars) {
+			return fmt.Errorf("spec %q: dependence %q has %d components, want %d",
+				sp.Name, dep.Name, len(dep.Vec), len(sp.Vars))
+		}
+		zero := true
+		for _, c := range dep.Vec {
+			if c != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			return fmt.Errorf("spec %q: dependence %q is the zero vector", sp.Name, dep.Name)
+		}
+	}
+	if err := sp.checkVarList("order", sp.Order(), true); err != nil {
+		return err
+	}
+	if err := sp.checkVarList("balance", sp.Balance(), false); err != nil {
+		return err
+	}
+	if len(sp.TileWidths) != 0 && len(sp.TileWidths) != len(sp.Vars) {
+		return fmt.Errorf("spec %q: %d tile widths for %d variables", sp.Name, len(sp.TileWidths), len(sp.Vars))
+	}
+	lo, hi := sp.Reach()
+	for k, w := range sp.Widths() {
+		if need := ints.Max(lo[k], hi[k]); w < need {
+			return fmt.Errorf("spec %q: tile width %d for %s is below the template reach %d",
+				sp.Name, w, sp.Vars[k], need)
+		}
+	}
+	if sp.Goal != nil && len(sp.Goal) != len(sp.Vars) {
+		return fmt.Errorf("spec %q: goal has %d components, want %d", sp.Name, len(sp.Goal), len(sp.Vars))
+	}
+	// Every dimension needs a consistent dependence direction so a single
+	// loop direction per dimension (Fig 3) computes dependencies before
+	// their uses; mixed signs in one dimension would make the cell order
+	// cyclic for this class of generator.
+	lo2, hi2 := sp.Reach()
+	for k := range sp.Vars {
+		if lo2[k] > 0 && hi2[k] > 0 {
+			return fmt.Errorf("spec %q: dimension %s has both positive and negative template components",
+				sp.Name, sp.Vars[k])
+		}
+	}
+	switch sp.ElemType() {
+	case "float64", "float32":
+	default:
+		return fmt.Errorf("spec %q: unsupported element type %q", sp.Name, sp.Elem)
+	}
+	return nil
+}
+
+func (sp *Spec) checkVarList(what string, names []string, complete bool) error {
+	seen := map[string]bool{}
+	for _, v := range names {
+		i := sp.space.Index(v)
+		if i < 0 || sp.space.IsParam(i) {
+			return fmt.Errorf("spec %q: %s names unknown variable %q", sp.Name, what, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("spec %q: %s repeats %q", sp.Name, what, v)
+		}
+		seen[v] = true
+	}
+	if complete && len(names) != len(sp.Vars) {
+		return fmt.Errorf("spec %q: %s must list all %d variables", sp.Name, what, len(sp.Vars))
+	}
+	return nil
+}
+
+// VarIndex returns the position of name within Vars, or -1.
+func (sp *Spec) VarIndex(name string) int {
+	for i, v := range sp.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,210 @@
+package tiling
+
+import (
+	"fmt"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+)
+
+// LBIndices returns the variable indexes of the load-balancing dimensions
+// in priority order (lb1 first).
+func (tl *Tiling) LBIndices() []int {
+	lb := tl.Spec.Balance()
+	out := make([]int, len(lb))
+	for i, v := range lb {
+		out[i] = tl.Spec.VarIndex(v)
+	}
+	return out
+}
+
+// LBNest returns a nest scanning the load-balancing iteration space
+// (Section IV-J): the tile space with all non-load-balanced tile indices
+// eliminated by Fourier–Motzkin, ordered by balance priority.
+func (tl *Tiling) LBNest() (*loopgen.Nest, error) {
+	if tl.lbNest != nil {
+		return tl.lbNest, nil
+	}
+	lb := tl.Spec.Balance()
+	isLB := map[string]bool{}
+	lbT := make([]string, len(lb))
+	for i, v := range lb {
+		lbT[i] = tName(v)
+		isLB[tName(v)] = true
+	}
+	var drop []string
+	for _, v := range tl.Spec.Vars {
+		if !isLB[tName(v)] {
+			drop = append(drop, tName(v))
+		}
+	}
+	sys, err := fm.EliminateAll(tl.TileSys, drop, fm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("tiling: lb space: %w", err)
+	}
+	lbSpace, err := lin.NewSpace(tl.Spec.Params, lbT)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := sys.Project(lbSpace)
+	if err != nil {
+		return nil, fmt.Errorf("tiling: lb projection: %w", err)
+	}
+	tl.lbNest, err = loopgen.Build(proj, lbT, fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return nil, fmt.Errorf("tiling: lb nest: %w", err)
+	}
+	return tl.lbNest, nil
+}
+
+// SlabWork counts the iteration-space cells of all tiles whose
+// load-balancing tile indices equal lb (in balance priority order) — the
+// quantity the paper evaluates with its second Ehrhart polynomial.
+// Results are memoized (the balancer asks for the same slabs on every
+// Build for a given instance).
+func (tl *Tiling) SlabWork(params, lb []int64) (int64, error) {
+	if tl.slabNest == nil {
+		if err := tl.buildSlabNest(); err != nil {
+			return 0, err
+		}
+	}
+	p := make([]int64, 0, len(params)+len(lb))
+	p = append(p, params...)
+	p = append(p, lb...)
+	key := fmt.Sprint(p)
+	tl.slabMu.Lock()
+	if v, ok := tl.slabMemo[key]; ok {
+		tl.slabMu.Unlock()
+		return v, nil
+	}
+	tl.slabMu.Unlock()
+	v := tl.slabNest.Count(p)
+	tl.slabMu.Lock()
+	if tl.slabMemo == nil {
+		tl.slabMemo = map[string]int64{}
+	}
+	tl.slabMemo[key] = v
+	tl.slabMu.Unlock()
+	return v, nil
+}
+
+// buildSlabNest builds a nest whose parameters are (params, t_lb...) and
+// whose loop variables are the remaining tile indices followed by the
+// local indices, so Count gives the slab's cell total.
+func (tl *Tiling) buildSlabNest() error {
+	sp := tl.Spec
+	lb := sp.Balance()
+	isLB := map[string]bool{}
+	lbT := make([]string, len(lb))
+	for i, v := range lb {
+		lbT[i] = tName(v)
+		isLB[tName(v)] = true
+	}
+	var restT []string
+	for _, k := range tl.orderIdx {
+		v := sp.Vars[k]
+		if !isLB[tName(v)] {
+			restT = append(restT, tName(v))
+		}
+	}
+	var iOrder []string
+	for _, k := range tl.orderIdx {
+		iOrder = append(iOrder, iName(sp.Vars[k]))
+	}
+	space, err := lin.NewSpace(append(append([]string{}, sp.Params...), lbT...), append(append([]string{}, restT...), iOrder...))
+	if err != nil {
+		return err
+	}
+	ext, err := tl.extended()
+	if err != nil {
+		return err
+	}
+	sys, err := ext.Project(space)
+	if err != nil {
+		return fmt.Errorf("tiling: slab projection: %w", err)
+	}
+	nest, err := loopgen.Build(sys, append(append([]string{}, restT...), iOrder...), fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return fmt.Errorf("tiling: slab nest: %w", err)
+	}
+	tl.slabNest = nest
+	return nil
+}
+
+// SlabTiles counts the tiles whose load-balancing indices equal lb —
+// the per-slab denominator the runtime needs for per-node owned-tile
+// totals without a full tile-space scan. Memoized like SlabWork.
+func (tl *Tiling) SlabTiles(params, lb []int64) (int64, error) {
+	if tl.slabTilesNest == nil {
+		if err := tl.buildSlabTilesNest(); err != nil {
+			return 0, err
+		}
+	}
+	p := make([]int64, 0, len(params)+len(lb))
+	p = append(p, params...)
+	p = append(p, lb...)
+	key := "t" + fmt.Sprint(p)
+	tl.slabMu.Lock()
+	if v, ok := tl.slabMemo[key]; ok {
+		tl.slabMu.Unlock()
+		return v, nil
+	}
+	tl.slabMu.Unlock()
+	v := tl.slabTilesNest.Count(p)
+	tl.slabMu.Lock()
+	if tl.slabMemo == nil {
+		tl.slabMemo = map[string]int64{}
+	}
+	tl.slabMemo[key] = v
+	tl.slabMu.Unlock()
+	return v, nil
+}
+
+// buildSlabTilesNest builds a nest over the non-load-balanced tile
+// indices with (params, t_lb) as parameters.
+func (tl *Tiling) buildSlabTilesNest() error {
+	sp := tl.Spec
+	lb := sp.Balance()
+	isLB := map[string]bool{}
+	lbT := make([]string, len(lb))
+	for i, v := range lb {
+		lbT[i] = tName(v)
+		isLB[tName(v)] = true
+	}
+	var restT []string
+	for _, k := range tl.orderIdx {
+		v := sp.Vars[k]
+		if !isLB[tName(v)] {
+			restT = append(restT, tName(v))
+		}
+	}
+	space, err := lin.NewSpace(append(append([]string{}, sp.Params...), lbT...), restT)
+	if err != nil {
+		return err
+	}
+	// Same names as the tile space, different parameter split.
+	sys, err := tl.TileSys.Project(space)
+	if err != nil {
+		return fmt.Errorf("tiling: slab-tiles projection: %w", err)
+	}
+	nest, err := loopgen.Build(sys, restT, fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return fmt.Errorf("tiling: slab-tiles nest: %w", err)
+	}
+	tl.slabTilesNest = nest
+	return nil
+}
+
+// LBCoords extracts the load-balancing coordinates (priority order) from
+// a tile index vector (Vars order).
+func (tl *Tiling) LBCoords(t []int64, dst []int64) []int64 {
+	idx := tl.LBIndices()
+	if dst == nil {
+		dst = make([]int64, len(idx))
+	}
+	for i, k := range idx {
+		dst[i] = t[k]
+	}
+	return dst
+}

@@ -1,0 +1,393 @@
+// Package tiling performs the core analyses of the program generator
+// (Sections IV-E through IV-L of the paper): it extends the iteration
+// space with tile and local indices (x_k = i_k + w_k * t_k), derives the
+// tile space and the per-tile local iteration space with Fourier–Motzkin
+// elimination, determines tile-to-tile dependencies from the template
+// vectors, builds template-recurrence validity functions, lays out tile
+// memory with ghost-cell shells and constant-offset mapping functions,
+// and constructs the pack/unpack index sets for every tile edge.
+package tiling
+
+import (
+	"fmt"
+	"sync"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/ints"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+	"dpgen/internal/spec"
+)
+
+// TileDep is a dependence between tiles: the consumer tile t reads data
+// produced by tile t + Offset. PackNest scans the producer-local cells of
+// the edge slab, in an order shared exactly by packing and unpacking
+// (Section IV-I).
+type TileDep struct {
+	// Offset has one entry per variable, each in {-1, 0, +1}.
+	Offset []int64
+	// PackNest scans the producer's slab cells; its space treats the
+	// parameters and the producer's tile indices as parameters and the
+	// local indices as loop variables.
+	PackNest *loopgen.Nest
+}
+
+// Tiling is the complete generation-time analysis of a spec.
+type Tiling struct {
+	Spec *spec.Spec
+
+	// Per-variable geometry, indexed like Spec.Vars.
+	Widths   []int64 // tile width w_k
+	GhostLo  []int64 // ghost shell below (max negative template reach)
+	GhostHi  []int64 // ghost shell above (max positive template reach)
+	Alloc    []int64 // allocated extent: GhostLo + Widths + GhostHi
+	Strides  []int64 // memory stride per variable (innermost loop var = 1)
+	BaseOff  int64   // sum GhostLo_k * Strides_k, the offset of local origin
+	AllocLen int64   // product of Alloc: per-tile buffer length
+
+	// DepLocOff[j] is the constant memory offset of template dependence j
+	// relative to the current location (the mapping functions of IV-H).
+	DepLocOff []int64
+
+	// Validity[j] lists the iteration-space constraints that template
+	// dependence j can violate, pre-shifted by the template vector
+	// (Section IV-G): dependence j is valid at x iff every listed
+	// inequality holds at (params, x).
+	Validity [][]lin.Ineq
+
+	// TileSys is the tile space over (params | t) (Section IV-E).
+	TileSys *lin.System
+	// TileNest scans the tile space in loop order.
+	TileNest *loopgen.Nest
+	// LocalNest scans a tile's cells; its space treats params and tile
+	// indices as parameters and local indices i as loop variables.
+	LocalNest *loopgen.Nest
+
+	// TileDeps are the distinct tile-to-tile dependence offsets
+	// (Section IV-F), in a deterministic order.
+	TileDeps []TileDep
+
+	// ExecDirs gives the cell iteration direction per variable: -1 when
+	// templates are positive in that dimension (loops run from the upper
+	// bound down, Fig 3), +1 otherwise. Indexed like Spec.Vars.
+	ExecDirs []int
+
+	tileSpace     *lin.Space    // (params | t...) in Vars order
+	localSpace    *lin.Space    // (params, t... | i...) — params+tiles as parameters
+	orderIdx      []int         // loop order as indexes into Spec.Vars
+	lbNest        *loopgen.Nest // cached load-balancing space scan
+	slabNest      *loopgen.Nest // cached slab work counter
+	slabMu        sync.Mutex
+	slabMemo      map[string]int64 // memoized slab work per (params, lb)
+	bandNests     []*loopgen.Nest  // boundary band scans for InitialTilesFast
+	slabTilesNest *loopgen.Nest    // per-slab tile counter
+}
+
+// tName and iName build the internal tile/local index names. The "$"
+// avoids collisions: it cannot appear in user identifiers.
+func tName(v string) string { return "t$" + v }
+func iName(v string) string { return "i$" + v }
+
+// New analyzes the spec and builds the full tiling. The spec must
+// validate and its iteration space must be bounded in every variable
+// given the parameters.
+func New(sp *spec.Spec) (*Tiling, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	d := len(sp.Vars)
+	tl := &Tiling{Spec: sp, Widths: sp.Widths()}
+	tl.GhostLo, tl.GhostHi = sp.Reach()
+
+	// Loop order as variable indexes.
+	order := sp.Order()
+	tl.orderIdx = make([]int, d)
+	for i, v := range order {
+		tl.orderIdx[i] = sp.VarIndex(v)
+	}
+
+	// Memory layout: the innermost loop variable gets stride 1.
+	tl.Alloc = make([]int64, d)
+	for k := 0; k < d; k++ {
+		tl.Alloc[k] = tl.GhostLo[k] + tl.Widths[k] + tl.GhostHi[k]
+	}
+	tl.Strides = make([]int64, d)
+	stride := int64(1)
+	for i := d - 1; i >= 0; i-- {
+		k := tl.orderIdx[i]
+		tl.Strides[k] = stride
+		stride = ints.MulChecked(stride, tl.Alloc[k])
+	}
+	tl.AllocLen = stride
+	for k := 0; k < d; k++ {
+		tl.BaseOff += tl.GhostLo[k] * tl.Strides[k]
+	}
+	tl.DepLocOff = make([]int64, len(sp.Deps))
+	for j, dep := range sp.Deps {
+		var off int64
+		for k, r := range dep.Vec {
+			off += r * tl.Strides[k]
+		}
+		tl.DepLocOff[j] = off
+	}
+
+	// Execution direction: positive template reach means dependencies sit
+	// at larger coordinates, so cells iterate downward in that dimension.
+	tl.ExecDirs = make([]int, d)
+	for k := 0; k < d; k++ {
+		if tl.GhostHi[k] > 0 {
+			tl.ExecDirs[k] = -1
+		} else {
+			tl.ExecDirs[k] = 1
+		}
+	}
+
+	if err := tl.buildSpaces(); err != nil {
+		return nil, err
+	}
+	tl.buildValidity()
+	if err := tl.buildTileDeps(); err != nil {
+		return nil, err
+	}
+	// The boundary band nests for initial tile generation (Section IV-K)
+	// are part of the generation-time analysis; building them here keeps
+	// the runtime's serial startup to the scan itself. A failure is not
+	// fatal — InitialTilesFast reports it and callers fall back to the
+	// exhaustive scan.
+	_ = tl.buildBandNests()
+	return tl, nil
+}
+
+// extended constructs the extended system over (params | x, t, i) with
+// x_k substituted by i_k + w_k*t_k and the local ranges 0 <= i_k < w_k
+// added (Section IV-E). All x coefficients are zero in the result.
+func (tl *Tiling) extended() (*lin.System, error) {
+	sp := tl.Spec
+	d := len(sp.Vars)
+	tNames := make([]string, d)
+	iNames := make([]string, d)
+	for k, v := range sp.Vars {
+		tNames[k], iNames[k] = tName(v), iName(v)
+	}
+	extSpace, err := lin.NewSpace(sp.Params,
+		append(append(append([]string{}, sp.Vars...), tNames...), iNames...))
+	if err != nil {
+		return nil, err
+	}
+	ext := sp.System().Lift(extSpace)
+	for k, v := range sp.Vars {
+		// x_k := i_k + w_k * t_k
+		rep := lin.Var(extSpace, iNames[k]).Add(lin.Term(extSpace, tl.Widths[k], tNames[k]))
+		ext = ext.Subst(v, rep)
+		// 0 <= i_k <= w_k - 1
+		ext.AddGE(lin.Var(extSpace, iNames[k]), lin.Zero(extSpace))
+		ext.AddLE(lin.Var(extSpace, iNames[k]), lin.Const(extSpace, tl.Widths[k]-1))
+	}
+	return ext, nil
+}
+
+// buildSpaces derives the tile space and the local iteration space from
+// the extended system.
+func (tl *Tiling) buildSpaces() error {
+	sp := tl.Spec
+	d := len(sp.Vars)
+	tNames := make([]string, d)
+	iNames := make([]string, d)
+	for k, v := range sp.Vars {
+		tNames[k], iNames[k] = tName(v), iName(v)
+	}
+	ext, err := tl.extended()
+	if err != nil {
+		return err
+	}
+
+	// Tile space: eliminate local indices, project onto (params | t).
+	elim, err := fm.EliminateAll(ext, iNames, fm.Options{})
+	if err != nil {
+		return fmt.Errorf("tiling: tile space: %w", err)
+	}
+	tl.tileSpace, err = lin.NewSpace(sp.Params, tNames)
+	if err != nil {
+		return err
+	}
+	tl.TileSys, err = elim.Project(tl.tileSpace)
+	if err != nil {
+		return fmt.Errorf("tiling: tile space projection: %w", err)
+	}
+	tOrder := make([]string, d)
+	for i, k := range tl.orderIdx {
+		tOrder[i] = tNames[k]
+	}
+	tl.TileNest, err = loopgen.Build(tl.TileSys, tOrder, fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return fmt.Errorf("tiling: tile nest: %w", err)
+	}
+
+	// Local iteration space: params and tile indices become parameters.
+	tl.localSpace, err = lin.NewSpace(append(append([]string{}, sp.Params...), tNames...), iNames)
+	if err != nil {
+		return err
+	}
+	local, err := ext.Project(tl.localSpace)
+	if err != nil {
+		return fmt.Errorf("tiling: local projection: %w", err)
+	}
+	iOrder := make([]string, d)
+	for i, k := range tl.orderIdx {
+		iOrder[i] = iNames[k]
+	}
+	tl.LocalNest, err = loopgen.Build(local, iOrder, fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return fmt.Errorf("tiling: local nest: %w", err)
+	}
+	return nil
+}
+
+// buildValidity creates the template-recurrence validity checks
+// (Section IV-G): for each dependence r and each original constraint
+// a.x + b.p + c >= 0 with a.r < 0, accessing x + r can violate the
+// constraint, so the shifted inequality a.x + b.p + c + a.r >= 0 must be
+// checked at runtime.
+func (tl *Tiling) buildValidity() {
+	sp := tl.Spec
+	tl.Validity = make([][]lin.Ineq, len(sp.Deps))
+	for j, dep := range sp.Deps {
+		for _, q := range sp.Constraints {
+			var shift int64
+			for k, v := range sp.Vars {
+				shift += q.Coeff(v) * dep.Vec[k]
+			}
+			if shift < 0 {
+				tl.Validity[j] = append(tl.Validity[j], lin.Ineq{Expr: q.Expr.AddConst(shift)})
+			}
+		}
+	}
+}
+
+// buildTileDeps enumerates the distinct tile-offset vectors induced by
+// the template dependencies (Section IV-F) and builds each edge's
+// pack/unpack scan nest (Section IV-I).
+func (tl *Tiling) buildTileDeps() error {
+	sp := tl.Spec
+	d := len(sp.Vars)
+	seen := map[string]bool{}
+	var offsets [][]int64
+	for _, dep := range sp.Deps {
+		// Per-dimension candidate crossings.
+		choice := make([][]int64, d)
+		for k, r := range dep.Vec {
+			switch {
+			case r > 0:
+				choice[k] = []int64{0, 1}
+			case r < 0:
+				choice[k] = []int64{0, -1}
+			default:
+				choice[k] = []int64{0}
+			}
+		}
+		cur := make([]int64, d)
+		var rec func(int)
+		rec = func(k int) {
+			if k == d {
+				zero := true
+				for _, c := range cur {
+					if c != 0 {
+						zero = false
+						break
+					}
+				}
+				if zero {
+					return
+				}
+				key := fmt.Sprint(cur)
+				if !seen[key] {
+					seen[key] = true
+					offsets = append(offsets, append([]int64(nil), cur...))
+				}
+				return
+			}
+			for _, c := range choice[k] {
+				cur[k] = c
+				rec(k + 1)
+			}
+			cur[k] = 0
+		}
+		rec(0)
+	}
+
+	// Deterministic order: lexicographic.
+	sortOffsets(offsets)
+
+	for _, off := range offsets {
+		nest, err := tl.buildPackNest(off)
+		if err != nil {
+			return err
+		}
+		tl.TileDeps = append(tl.TileDeps, TileDep{Offset: off, PackNest: nest})
+	}
+	return nil
+}
+
+// buildPackNest constructs the scan nest over the producer-local slab of
+// the edge with the given offset: for crossing dimensions the slab is the
+// ghost-reach band at the producer's low side (offset +1) or high side
+// (offset -1); non-crossing dimensions span the whole tile. The nest's
+// system is the producer's local space intersected with the slab, so
+// partial boundary tiles pack exactly their valid band.
+func (tl *Tiling) buildPackNest(off []int64) (*loopgen.Nest, error) {
+	sp := tl.Spec
+	local, err := tl.localSystem()
+	if err != nil {
+		return nil, err
+	}
+	for k, o := range off {
+		in := iName(sp.Vars[k])
+		switch o {
+		case 1:
+			// Consumer below producer: it reads the producer's low band
+			// i_k in [0, GhostHi_k - 1].
+			local.AddLE(lin.Var(tl.localSpace, in), lin.Const(tl.localSpace, tl.GhostHi[k]-1))
+		case -1:
+			// Consumer above producer: it reads the high band
+			// i_k in [w_k - GhostLo_k, w_k - 1].
+			local.AddGE(lin.Var(tl.localSpace, in), lin.Const(tl.localSpace, tl.Widths[k]-tl.GhostLo[k]))
+		}
+	}
+	d := len(sp.Vars)
+	iOrder := make([]string, d)
+	for i, k := range tl.orderIdx {
+		iOrder[i] = iName(sp.Vars[k])
+	}
+	nest, err := loopgen.Build(local, iOrder, fm.Options{Prune: fm.PruneSimplex})
+	if err != nil {
+		return nil, fmt.Errorf("tiling: pack nest for offset %v: %w", off, err)
+	}
+	return nest, nil
+}
+
+// localSystem rebuilds the local iteration system (over localSpace);
+// used as the base for pack nests.
+func (tl *Tiling) localSystem() (*lin.System, error) {
+	ext, err := tl.extended()
+	if err != nil {
+		return nil, err
+	}
+	return ext.Project(tl.localSpace)
+}
+
+func sortOffsets(offs [][]int64) {
+	less := func(a, b []int64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+	// Insertion sort: offset lists are tiny.
+	for i := 1; i < len(offs); i++ {
+		for j := i; j > 0 && less(offs[j], offs[j-1]); j-- {
+			offs[j], offs[j-1] = offs[j-1], offs[j]
+		}
+	}
+}
