@@ -15,6 +15,7 @@ import (
 	"dpgen/internal/fm"
 	"dpgen/internal/lin"
 	"dpgen/internal/loopgen"
+	"dpgen/internal/obs"
 	"dpgen/internal/problems"
 	"dpgen/internal/simsched"
 	"dpgen/internal/tiling"
@@ -62,6 +63,35 @@ func BenchmarkFig1Bandit2(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTracerOverhead runs the BenchmarkFig1Bandit2 workload with
+// tracing disabled (the shipping default: one nil check per event
+// site) and enabled (a fresh tracer per run), so the two can be
+// compared directly; Disabled must stay within noise of
+// BenchmarkFig1Bandit2 itself.
+func BenchmarkTracerOverhead(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 6)
+	kernel := benchKernel(b, "bandit2")
+	params := []int64{30}
+	b.Run("Disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(tl, kernel, params, engine.Config{Nodes: 2, Threads: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracer := obs.NewTracer()
+			if _, err := engine.Run(tl, kernel, params, engine.Config{Nodes: 2, Threads: 2, Tracer: tracer}); err != nil {
+				b.Fatal(err)
+			}
+			if tr := tracer.Snapshot(); len(tr.Events) == 0 {
+				b.Fatal("enabled tracer recorded nothing")
+			}
+		}
+	})
 }
 
 // BenchmarkFig2Balance measures the Ehrhart-weighted prefix balancer

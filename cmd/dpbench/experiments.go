@@ -62,7 +62,7 @@ func expFig1(quick bool) {
 		if params == nil {
 			params = p.DefaultParams
 		}
-		res, err := engine.Run(mustTiling(p, 0, nil), p.Kernel, params, engine.Config{Nodes: 3, Threads: 2})
+		res, err := runEngine(mustTiling(p, 0, nil), p.Kernel, params, engine.Config{Nodes: 3, Threads: 2})
 		if err != nil {
 			panic(err)
 		}
@@ -187,7 +187,7 @@ func expFig45(quick bool) {
 		N := 2*n - 1
 		peak := map[engine.Priority]int64{}
 		for _, prio := range []engine.Priority{engine.ColumnMajor, engine.LevelSet} {
-			res, err := engine.Run(tl, kernel, []int64{N}, engine.Config{Priority: prio})
+			res, err := runEngine(tl, kernel, []int64{N}, engine.Config{Priority: prio})
 			if err != nil {
 				panic(err)
 			}
@@ -203,7 +203,7 @@ func expFig45(quick bool) {
 	N := pick(quick, 20, 32)
 	peak := map[engine.Priority]int64{}
 	for _, prio := range []engine.Priority{engine.ColumnMajor, engine.LevelSet} {
-		res, err := engine.Run(tl4, p.Kernel, []int64{N}, engine.Config{Priority: prio})
+		res, err := runEngine(tl4, p.Kernel, []int64{N}, engine.Config{Priority: prio})
 		if err != nil {
 			panic(err)
 		}
@@ -501,7 +501,7 @@ func expInitTiles(quick bool) {
 	p := problems.Bandit2()
 	N := pick(quick, 50, 100)
 	tl := mustTiling(p, 6, nil)
-	res, err := engine.Run(tl, p.Kernel, []int64{N}, engine.Config{Nodes: 2, Threads: 1})
+	res, err := runEngine(tl, p.Kernel, []int64{N}, engine.Config{Nodes: 2, Threads: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -524,7 +524,7 @@ func expPending(quick bool) {
 	}
 	fmt.Printf("%-6s %-12s %-16s %-14s %s\n", "N", "locations", "peak edge elems", "peak/space", "full-space elems")
 	for _, N := range Ns {
-		res, err := engine.Run(tl, p.Kernel, []int64{N}, engine.Config{})
+		res, err := runEngine(tl, p.Kernel, []int64{N}, engine.Config{})
 		if err != nil {
 			panic(err)
 		}

@@ -52,8 +52,16 @@ func main() {
 		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		quick   = flag.Bool("quick", false, "smaller instances for a fast pass")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		metrics = flag.String("metrics", "", "directory for per-run metrics snapshots (<exp>-<n>.json and .prom) of the runtime experiments")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		if err := os.MkdirAll(*metrics, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		metricsDir = *metrics
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -72,6 +80,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+		setMetricsExp(e.id)
 		e.run(*quick)
 		fmt.Println()
 		ran++

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/obs"
+	"dpgen/internal/tiling"
+)
+
+// Metrics capture state for -metrics: every engine run of the selected
+// experiments gets a tracer attached, and its aggregate snapshot is
+// written as <dir>/<experiment>-<seq>.json and .prom.
+var (
+	metricsDir string
+	metricsExp string
+	metricsSeq int
+)
+
+func setMetricsExp(id string) {
+	metricsExp = id
+	metricsSeq = 0
+}
+
+// runEngine wraps engine.Run so experiments record a metrics snapshot
+// per run when -metrics is set; without the flag it is a plain call.
+func runEngine(tl *tiling.Tiling, kernel engine.Kernel, params []int64, cfg engine.Config) (*engine.Result, error) {
+	if metricsDir == "" {
+		return engine.Run(tl, kernel, params, cfg)
+	}
+	tracer := obs.NewTracer()
+	cfg.Tracer = tracer
+	res, err := engine.Run(tl, kernel, params, cfg)
+	if err != nil {
+		return res, err
+	}
+	m := tracer.Snapshot().Metrics()
+	metricsSeq++
+	base := filepath.Join(metricsDir, fmt.Sprintf("%s-%d", metricsExp, metricsSeq))
+	doc := struct {
+		Experiment string       `json:"experiment"`
+		Run        int          `json:"run"`
+		Params     []int64      `json:"params"`
+		Metrics    *obs.Metrics `json:"metrics"`
+	}{metricsExp, metricsSeq, params, m}
+	if data, err := json.MarshalIndent(&doc, "", "  "); err == nil {
+		err = os.WriteFile(base+".json", append(data, '\n'), 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: metrics: %v\n", err)
+		}
+	}
+	f, err := os.Create(base + ".prom")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: metrics: %v\n", err)
+		return res, nil
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: metrics: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: metrics: %v\n", err)
+	}
+	return res, nil
+}

@@ -36,6 +36,8 @@ func main() {
 		balOpt   = flag.String("balance", "prefix", "load balancer: prefix, hyperplane")
 		check    = flag.Bool("check", false, "verify against the serial reference solver")
 		stats    = flag.Bool("stats", false, "print per-node statistics")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+		metrics  = flag.Bool("metrics", false, "print a Prometheus text-exposition snapshot of the run")
 	)
 	flag.Parse()
 
@@ -79,7 +81,16 @@ func main() {
 		fatal(fmt.Errorf("unknown -balance %q", *balOpt))
 	}
 
-	res, err := dpgen.RunProblem(p, params, cfg)
+	var tracer *dpgen.Tracer
+	if *traceOut != "" || *metrics {
+		tracer = dpgen.NewTracer()
+		cfg.Tracer = tracer
+	}
+	tl, err := dpgen.Analyze(p.Spec)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := dpgen.RunAnalyzed(tl, p.Kernel, params, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,9 +103,35 @@ func main() {
 	fmt.Printf("messages  %d (%d elements)\n", res.Messages, res.Elems)
 	if *stats {
 		for i, st := range res.Stats {
-			fmt.Printf("node %d: tiles %d cells %d sent %d recv %d local %d peak_edges %d peak_elems %d idle %s\n",
+			fmt.Printf("node %d: tiles %d cells %d sent %d recv %d local %d peak_edges %d peak_elems %d idle %s send_stall %s\n",
 				i, st.TilesExecuted, st.CellsComputed, st.EdgesSentRemote, st.EdgesRecvRemote,
-				st.EdgesLocal, st.PeakPendingEdges, st.PeakBufferedElems, st.IdleTime)
+				st.EdgesLocal, st.PeakPendingEdges, st.PeakBufferedElems, st.IdleTime, st.SendStallTime)
+		}
+	}
+	if tracer != nil {
+		snap := tracer.Snapshot()
+		rep, err := dpgen.CriticalPath(tl, snap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("critpath  %s\n", rep)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snap.WriteChrome(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace     %s (%d events, %d lanes)\n", *traceOut, len(snap.Events), len(snap.Lanes))
+		}
+		if *metrics {
+			if err := snap.Metrics().WritePrometheus(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *check {

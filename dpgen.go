@@ -30,11 +30,13 @@ package dpgen
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"dpgen/internal/balance"
 	"dpgen/internal/codegen"
 	"dpgen/internal/engine"
+	"dpgen/internal/obs"
 	"dpgen/internal/problems"
 	"dpgen/internal/simsched"
 	"dpgen/internal/spec"
@@ -181,3 +183,39 @@ func Builtins() []string { return problems.Names() }
 
 // DefaultCostModel returns the simulator's calibrated machine constants.
 func DefaultCostModel() CostModel { return simsched.DefaultCostModel() }
+
+// Tracer records per-worker tile-lifecycle timelines during a run or a
+// simulation; attach one via Config.Tracer or SimConfig.Tracer. See
+// dpgen/internal/obs for the event schema.
+type Tracer = obs.Tracer
+
+// Trace is an immutable snapshot of a Tracer; it exports to Chrome
+// trace-event JSON (WriteChrome) and aggregates to runtime metrics
+// (Metrics).
+type Trace = obs.Trace
+
+// RunMetrics is a per-node aggregate of a Trace, exportable in
+// Prometheus text-exposition format (WritePrometheus).
+type RunMetrics = obs.Metrics
+
+// PathReport is the result of a critical-path analysis over a Trace.
+type PathReport = obs.PathReport
+
+// NewTracer creates a tracer for one run.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ParseTrace decodes Chrome trace-event JSON previously written by
+// Trace.WriteChrome — from a real run or a simulated one; the schema
+// is shared.
+func ParseTrace(r io.Reader) (*Trace, error) { return obs.ParseChrome(r) }
+
+// CriticalPath replays the traced tile DAG of an analyzed spec with
+// measured times and reports the longest compute+communication chain
+// against the measured makespan.
+func CriticalPath(tl *Analysis, tr *Trace) (*PathReport, error) {
+	offsets := make([][]int64, len(tl.TileDeps))
+	for j := range tl.TileDeps {
+		offsets[j] = tl.TileDeps[j].Offset
+	}
+	return obs.CriticalPath(tr, offsets)
+}

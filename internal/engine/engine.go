@@ -29,6 +29,7 @@ import (
 
 	"dpgen/internal/balance"
 	"dpgen/internal/mpi"
+	"dpgen/internal/obs"
 	"dpgen/internal/tiling"
 )
 
@@ -55,6 +56,11 @@ type Config struct {
 	// coordinates and the computed value. Called concurrently from
 	// workers; the coordinate slice must not be retained.
 	OnCell func(x []int64, v float64)
+	// Tracer, if set, records the tile lifecycle (ready, pop, unpack,
+	// kernel, pack, edge traffic, stalls, idle) on per-worker timelines;
+	// see dpgen/internal/obs. Nil costs one pointer check per event
+	// site. A tracer must not be reused across runs.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +104,10 @@ type NodeStats struct {
 	PeakPendingTiles int64
 	// IdleTime is total worker time spent waiting for ready tiles.
 	IdleTime time.Duration
+	// SendStallTime is total worker time blocked in remote sends on
+	// exhausted send (or destination receive) buffers — the counter
+	// that explains the Section VI-C buffer-count sweep.
+	SendStallTime time.Duration
 	// Steals counts tiles taken from another queue group (only nonzero
 	// with Config.QueueGroups > 1).
 	Steals int64
@@ -214,10 +224,15 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		p.key = e.makeKey(t, nil)
 		p.level = -sum64(p.key)
 		n.ready[n.groupOf(t)].push(p)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Lane(n.id, laneInit(cfg), "init").Instant(obs.KReady, obs.TileID(t), -1, 0)
+		}
 	}
 	initTime := time.Since(initStart)
 
-	// Launch: per node, Threads workers plus one receiver.
+	// Launch: per node, Threads workers plus one receiver. Each
+	// goroutine owns one trace lane (workers 0..Threads-1, the receiver
+	// after them), so event emission is lock-free.
 	var workers sync.WaitGroup
 	var receivers sync.WaitGroup
 	for _, n := range nodes {
@@ -227,17 +242,25 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 			receivers.Add(1)
 			go func(n *node) {
 				defer receivers.Done()
-				n.receiver()
+				var lane *obs.Lane
+				if cfg.Tracer != nil {
+					lane = cfg.Tracer.Lane(n.id, cfg.Threads, "recv")
+				}
+				n.receiver(lane)
 			}(n)
 		}
 		for w := 0; w < cfg.Threads; w++ {
 			workers.Add(1)
 			go func(n *node, w int) {
 				defer workers.Done()
+				var lane *obs.Lane
+				if cfg.Tracer != nil {
+					lane = cfg.Tracer.Lane(n.id, w, "worker"+strconv.Itoa(w))
+				}
 				if cfg.PollingRecv {
-					n.workerPolling(w % cfg.QueueGroups)
+					n.workerPolling(w%cfg.QueueGroups, lane)
 				} else {
-					n.worker(w % cfg.QueueGroups)
+					n.worker(w%cfg.QueueGroups, lane)
 				}
 			}(n, w)
 		}
@@ -345,6 +368,10 @@ func newNode(e *engine, id int) *node {
 	return n
 }
 
+// laneInit is the trace-lane index for the serial seeding phase
+// (workers take 0..Threads-1, the receiver Threads).
+func laneInit(cfg Config) int { return cfg.Threads + 1 }
+
 // groupOf hashes a tile to a queue group (FNV-1a over the coordinates).
 func (n *node) groupOf(t []int64) int {
 	if len(n.ready) == 1 {
@@ -394,15 +421,20 @@ func tileKey(t []int64) string {
 
 // worker is the per-thread main loop (Section V-A): claim the best ready
 // tile, execute it, repeat.
-func (n *node) worker(home int) {
+func (n *node) worker(home int, lane *obs.Lane) {
 	w := newWorkerState(n.eng)
+	w.lane = lane
 	for {
 		n.mu.Lock()
 		p := n.popReady(home)
 		for p == nil && !n.done {
 			idleStart := time.Now()
 			n.conds[home].Wait()
-			n.st.IdleTime += time.Since(idleStart)
+			idle := time.Since(idleStart)
+			n.st.IdleTime += idle
+			if lane != nil {
+				lane.Emit(obs.Event{Kind: obs.KIdle, Start: lane.At(idleStart), Dur: int64(idle), Dep: -1})
+			}
 			p = n.popReady(home)
 		}
 		if p == nil {
@@ -417,8 +449,9 @@ func (n *node) worker(home int) {
 // workerPolling is the worker loop of the paper's progress model: no
 // receiver goroutine exists, so workers probe the inbox whenever they
 // have no ready tile and while blocked inside sends.
-func (n *node) workerPolling(home int) {
+func (n *node) workerPolling(home int, lane *obs.Lane) {
 	w := newWorkerState(n.eng)
+	w.lane = lane
 	for {
 		n.mu.Lock()
 		p := n.popReady(home)
@@ -428,7 +461,7 @@ func (n *node) workerPolling(home int) {
 			n.execTile(p, w)
 			continue
 		}
-		if n.poll() {
+		if n.poll(lane) {
 			continue
 		}
 		if done {
@@ -439,14 +472,14 @@ func (n *node) workerPolling(home int) {
 }
 
 // poll drains at most one pending inbox message; reports whether one was
-// processed.
-func (n *node) poll() bool {
+// processed. Delivered-edge events go to the polling goroutine's lane.
+func (n *node) poll(lane *obs.Lane) bool {
 	m, ok := n.rank.Iprobe()
 	if !ok {
 		return false
 	}
 	consumer := append([]int64(nil), m.Meta...)
-	n.deliver(consumer, m.Tag, m.Data, true)
+	n.deliver(consumer, m.Tag, m.Data, true, lane)
 	m.Release()
 	return true
 }
@@ -454,26 +487,30 @@ func (n *node) poll() bool {
 // receiver drains the node's MPI inbox, delivering edges into the
 // pending table. It is the progress engine standing in for the paper's
 // lock-guarded polling step; it exits when the communicator closes.
-func (n *node) receiver() {
+func (n *node) receiver(lane *obs.Lane) {
 	for {
 		m, ok := n.rank.Recv()
 		if !ok {
 			return
 		}
 		consumer := append([]int64(nil), m.Meta...)
-		n.deliver(consumer, m.Tag, m.Data, true)
+		n.deliver(consumer, m.Tag, m.Data, true, lane)
 		m.Release()
 	}
 }
 
 // deliver records one incoming edge for a consumer tile, moving the tile
-// to the ready queue when its last dependence arrives.
-func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool) {
+// to the ready queue when its last dependence arrives. lane is the
+// calling goroutine's trace lane (nil when untraced).
+func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, lane *obs.Lane) {
 	e := n.eng
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if remote {
 		n.st.EdgesRecvRemote++
+		if lane != nil {
+			lane.Instant(obs.KRecv, obs.TileID(consumer), int32(dep), int64(len(data)))
+		}
 	} else {
 		n.st.EdgesLocal++
 	}
@@ -507,6 +544,9 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool) {
 		p.level = -sum64(p.key)
 		g := n.groupOf(p.tile)
 		n.ready[g].push(p)
+		if lane != nil {
+			lane.Instant(obs.KReady, obs.TileID(p.tile), -1, 0)
+		}
 		n.conds[g].Signal()
 	}
 }
@@ -520,6 +560,7 @@ type workerState struct {
 	x        []int64
 	probe    []int64
 	keyBuf   []int64
+	lane     *obs.Lane // trace timeline; nil when untraced
 }
 
 func newWorkerState(e *engine) *workerState {
@@ -557,6 +598,17 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	tl := e.tl
 	d := len(tl.Spec.Vars)
 
+	// Tracing: one nil check per phase; tid and timestamps are only
+	// computed when a tracer is attached.
+	lane := w.lane
+	var tid string
+	var t0 int64
+	if lane != nil {
+		tid = obs.TileID(p.tile)
+		lane.Instant(obs.KPop, tid, -1, 0)
+		t0 = lane.Now()
+	}
+
 	// Unpack received edges into the ghost shell. The producer of edge
 	// dep j is p.tile + offset_j; pack and unpack share that producer's
 	// slab nest, so the element order matches exactly.
@@ -584,6 +636,10 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	}
 	n.mu.Unlock()
 	p.edges = nil
+	if lane != nil {
+		lane.Span(obs.KUnpack, tid, -1, 0, t0)
+		t0 = lane.Now()
+	}
 
 	// Execute the cells in dependence order.
 	var cells int64
@@ -613,6 +669,9 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 		}
 		return true
 	})
+	if lane != nil {
+		lane.Span(obs.KKernel, tid, -1, cells, t0)
+	}
 
 	if goal {
 		v := w.buf[tl.Loc(e.goalLocal)]
@@ -631,6 +690,9 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	}
 
 	// Pack and deliver outgoing edges (steps 4a/4b of Section V-A).
+	if lane != nil {
+		t0 = lane.Now()
+	}
 	for j := range tl.TileDeps {
 		off := tl.TileDeps[j].Offset
 		consumer := w.probe
@@ -647,22 +709,37 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 		})
 		owner := e.assign.Owner(consumer)
 		if owner == n.id {
-			n.deliver(consumer, j, data, false)
+			n.deliver(consumer, j, data, false, lane)
 		} else {
 			meta := append([]int64(nil), consumer...)
+			var sendT0 int64
+			if lane != nil {
+				sendT0 = lane.Now()
+			}
+			var stall time.Duration
 			if e.cfg.PollingRecv {
-				n.rank.SendPolling(owner, j, data, meta, func() {
-					if !n.poll() {
+				stall = n.rank.SendPolling(owner, j, data, meta, func() {
+					if !n.poll(lane) {
 						runtime.Gosched()
 					}
 				})
 			} else {
-				n.rank.Send(owner, j, data, meta)
+				stall = n.rank.Send(owner, j, data, meta)
+			}
+			if lane != nil {
+				if stall > 0 {
+					lane.Emit(obs.Event{Kind: obs.KStall, Start: sendT0, Dur: int64(stall), Tile: tid, Dep: int32(j)})
+				}
+				lane.Span(obs.KSend, obs.TileID(consumer), int32(j), int64(len(data)), sendT0)
 			}
 			n.mu.Lock()
 			n.st.EdgesSentRemote++
+			n.st.SendStallTime += stall
 			n.mu.Unlock()
 		}
+	}
+	if lane != nil {
+		lane.Span(obs.KPack, tid, -1, 0, t0)
 	}
 
 	n.mu.Lock()
@@ -670,6 +747,11 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	n.st.CellsComputed += cells
 	n.executed++
 	finished := n.executed == n.ownedTotal
+	// Sample the pending-edge curve (the Figure 4 quantity as a time
+	// series) at every tile completion.
+	if lane != nil {
+		lane.Instant(obs.KPending, "", -1, n.pendingEdges)
+	}
 	n.mu.Unlock()
 	if finished {
 		n.checkFinished()

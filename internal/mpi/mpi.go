@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message is a tagged payload between ranks. After processing, the
@@ -125,13 +126,31 @@ func (r *Rank) Size() int { return r.c.size }
 // full — the two backpressure mechanisms of the generated programs.
 // data and meta are handed off and must not be modified by the caller
 // afterwards.
-func (r *Rank) Send(dst, tag int, data []float64, meta []int64) {
+//
+// The returned stall is the time the caller spent blocked on either
+// mechanism (zero on the uncontended fast path, which takes no clock
+// reading) — the per-send quantity behind NodeStats.SendStallTime and
+// the Section VI-C buffer-count sweep.
+func (r *Rank) Send(dst, tag int, data []float64, meta []int64) (stall time.Duration) {
 	slot := r.c.sendSlots[r.id]
-	slot <- struct{}{} // acquire a send buffer
+	select {
+	case slot <- struct{}{}: // acquire a send buffer, uncontended
+	default:
+		t0 := time.Now()
+		slot <- struct{}{}
+		stall = time.Since(t0)
+	}
 	m := &Message{Src: r.id, Tag: tag, Data: data, Meta: meta, slot: slot}
 	r.c.messages.Add(1)
 	r.c.elems.Add(int64(len(data)))
-	r.c.inbox[dst] <- m
+	select {
+	case r.c.inbox[dst] <- m:
+	default:
+		t0 := time.Now()
+		r.c.inbox[dst] <- m
+		stall += time.Since(t0)
+	}
+	return stall
 }
 
 // SendPolling delivers like Send, but instead of blocking while send
@@ -140,16 +159,26 @@ func (r *Rank) Send(dst, tag int, data []float64, meta []int64) {
 // deadlock when every peer is simultaneously trying to send: the poll
 // callback drains the caller's own inbox (the generated programs'
 // "poll for incoming edges" step).
-func (r *Rank) SendPolling(dst, tag int, data []float64, meta []int64, poll func()) {
+//
+// The returned stall is the time spent retrying (including the poll
+// work, since the worker cannot make tile progress until the send
+// completes); zero on the uncontended fast path.
+func (r *Rank) SendPolling(dst, tag int, data []float64, meta []int64, poll func()) (stall time.Duration) {
 	slot := r.c.sendSlots[r.id]
-	for {
-		select {
-		case slot <- struct{}{}:
-		default:
+	select {
+	case slot <- struct{}{}:
+	default:
+		t0 := time.Now()
+		for {
 			poll()
-			continue
+			select {
+			case slot <- struct{}{}:
+			default:
+				continue
+			}
+			break
 		}
-		break
+		stall = time.Since(t0)
 	}
 	m := &Message{Src: r.id, Tag: tag, Data: data, Meta: meta, slot: slot}
 	for {
@@ -157,10 +186,12 @@ func (r *Rank) SendPolling(dst, tag int, data []float64, meta []int64, poll func
 		case r.c.inbox[dst] <- m:
 			r.c.messages.Add(1)
 			r.c.elems.Add(int64(len(data)))
-			return
+			return stall
 		default:
-			poll()
 		}
+		t0 := time.Now()
+		poll()
+		stall += time.Since(t0)
 	}
 }
 

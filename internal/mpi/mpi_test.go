@@ -279,3 +279,53 @@ func TestRankAccessors(t *testing.T) {
 		t.Error("Rank accessors wrong")
 	}
 }
+
+// TestSendStallMeasured: with one send buffer held in flight, a second
+// send must block until the receiver releases, and report that block as
+// stall time; an uncontended send reports zero.
+func TestSendStallMeasured(t *testing.T) {
+	c, _ := NewComm(2, 1, 8)
+	s := c.Rank(0)
+	r := c.Rank(1)
+	if stall := s.Send(1, 0, []float64{1}, nil); stall != 0 {
+		t.Errorf("uncontended send stalled %v", stall)
+	}
+	const hold = 20 * time.Millisecond
+	done := make(chan time.Duration)
+	go func() {
+		// The only send-buffer slot is in flight until the first
+		// message is released, so this send stalls.
+		done <- s.Send(1, 1, []float64{2}, nil)
+	}()
+	time.Sleep(hold)
+	m, _ := r.Recv()
+	m.Release()
+	if stall := <-done; stall < hold/2 {
+		t.Errorf("blocked send reported stall %v, want >= %v", stall, hold/2)
+	}
+	m, _ = r.Recv()
+	m.Release()
+}
+
+// TestSendPollingStallMeasured mirrors the above for the polling path.
+func TestSendPollingStallMeasured(t *testing.T) {
+	c, _ := NewComm(2, 1, 8)
+	s := c.Rank(0)
+	r := c.Rank(1)
+	if stall := s.SendPolling(1, 0, []float64{1}, nil, func() {}); stall != 0 {
+		t.Errorf("uncontended polling send stalled %v", stall)
+	}
+	const hold = 20 * time.Millisecond
+	done := make(chan time.Duration)
+	go func() {
+		done <- s.SendPolling(1, 1, []float64{2}, nil, func() { time.Sleep(time.Millisecond) })
+	}()
+	time.Sleep(hold)
+	m, _ := r.Recv()
+	m.Release()
+	if stall := <-done; stall < hold/2 {
+		t.Errorf("blocked polling send reported stall %v, want >= %v", stall, hold/2)
+	}
+	m, _ = r.Recv()
+	m.Release()
+}

@@ -1,0 +1,179 @@
+// Chrome trace-event export and import. The format is the JSON-object
+// form of the Trace Event Format ({"traceEvents": [...]}) understood by
+// Perfetto (ui.perfetto.dev) and chrome://tracing: one process per
+// node, one thread per lane, complete ("X") events for spans, instant
+// ("i") events for markers and counter ("C") events for the
+// pending-edge series.
+//
+// ParseChrome inverts WriteChrome; it is the single decoder that reads
+// traces from both the real runtime and the simulator, which is what
+// makes a measured run and its modeled counterpart diffable.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Trace Event Format. Timestamps and
+// durations are microseconds (float64, so sub-microsecond resolution
+// survives).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int32          `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = make([]chromeEvent, 0, len(tr.Events)+2*len(tr.Lanes))
+	seenNode := map[int32]bool{}
+	for _, l := range tr.Lanes {
+		if !seenNode[l.Node] {
+			seenNode[l.Node] = true
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: l.Node,
+				Args: map[string]any{"name": fmt.Sprintf("node%d", l.Node)},
+			})
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: l.Node, TID: l.Lane,
+			Args: map[string]any{"name": l.Name},
+		})
+		if l.Dropped > 0 {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "dropped_events", Phase: "M", PID: l.Node, TID: l.Lane,
+				Args: map[string]any{"count": l.Dropped},
+			})
+		}
+	}
+	for _, e := range tr.Events {
+		ce := chromeEvent{
+			Cat: e.Kind.String(),
+			TS:  float64(e.Start) / 1e3,
+			PID: e.Node,
+			TID: e.Lane,
+		}
+		args := map[string]any{}
+		if e.Tile != "" {
+			args["tile"] = e.Tile
+		}
+		if e.Dep >= 0 {
+			args["dep"] = e.Dep
+		}
+		switch {
+		case e.Kind == KPending:
+			ce.Name = "pending_edges"
+			ce.Phase = "C"
+			args["edges"] = e.Val
+		case e.Kind.Durable():
+			ce.Name = e.Kind.String()
+			if e.Tile != "" {
+				ce.Name += " " + e.Tile
+			}
+			ce.Phase = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+			if e.Val != 0 {
+				args["elems"] = e.Val
+			}
+		default:
+			ce.Name = e.Kind.String()
+			if e.Tile != "" {
+				ce.Name += " " + e.Tile
+			}
+			ce.Phase = "i"
+			ce.Scope = "t"
+			if e.Val != 0 {
+				args["elems"] = e.Val
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		f.TraceEvents = append(f.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ParseChrome reads Chrome trace-event JSON produced by WriteChrome
+// back into a Trace. Unknown categories (events written by other tools)
+// are skipped. Both engine and simsched traces decode through this one
+// path — the schema contract the tests pin down.
+func ParseChrome(r io.Reader) (*Trace, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	tr := &Trace{}
+	laneIdx := map[[2]int32]int{}
+	lane := func(node, id int32) *LaneInfo {
+		k := [2]int32{node, id}
+		if i, ok := laneIdx[k]; ok {
+			return &tr.Lanes[i]
+		}
+		laneIdx[k] = len(tr.Lanes)
+		tr.Lanes = append(tr.Lanes, LaneInfo{Node: node, Lane: id})
+		return &tr.Lanes[len(tr.Lanes)-1]
+	}
+	for _, ce := range f.TraceEvents {
+		if ce.Phase == "M" {
+			switch ce.Name {
+			case "thread_name":
+				if n, ok := ce.Args["name"].(string); ok {
+					lane(ce.PID, ce.TID).Name = n
+				}
+			case "dropped_events":
+				if c, ok := ce.Args["count"].(float64); ok {
+					lane(ce.PID, ce.TID).Dropped = uint64(c)
+				}
+			}
+			continue
+		}
+		var k Kind
+		var ok bool
+		if ce.Phase == "C" && ce.Name == "pending_edges" {
+			k = KPending
+		} else if k, ok = KindFromString(ce.Cat); !ok {
+			continue
+		}
+		e := Event{
+			Kind:  k,
+			Node:  ce.PID,
+			Lane:  ce.TID,
+			Start: int64(ce.TS * 1e3),
+			Dur:   int64(ce.Dur * 1e3),
+			Dep:   -1,
+		}
+		if t, ok := ce.Args["tile"].(string); ok {
+			e.Tile = t
+		}
+		if d, ok := ce.Args["dep"].(float64); ok {
+			e.Dep = int32(d)
+		}
+		if v, ok := ce.Args["elems"].(float64); ok {
+			e.Val = int64(v)
+		}
+		if v, ok := ce.Args["edges"].(float64); ok {
+			e.Val = int64(v)
+		}
+		lane(e.Node, e.Lane)
+		tr.Events = append(tr.Events, e)
+	}
+	return tr, nil
+}

@@ -1,0 +1,200 @@
+// Critical-path analysis over a recorded trace. The analyzer replays
+// the tile DAG with per-tile *measured* times and reports the longest
+// dependence chain of compute plus communication — the quantity that
+// bounds any schedule of the same DAG from below and therefore explains
+// the speedup ceilings of Figures 6 and 7: when measured makespan is
+// close to the critical path, no scheduling or buffering change can
+// help; only smaller tiles (a deeper DAG cut) can.
+//
+// The per-tile weight is the measured span from unpack start to kernel
+// end, and the weight of a remote dependence edge is the measured gap
+// from the producer's kernel end to the edge's arrival at the consumer
+// (which includes the producer's pack, the send, the wire and any
+// buffering delay). With these definitions every chain occupies
+// disjoint, ordered intervals of the recorded timeline — a consumer
+// never starts unpacking before its last edge arrives, and an edge
+// never arrives before its producer's kernel ends — so the reported
+// critical path is guaranteed to be at most the measured makespan.
+// Local delivery gaps are folded into the consumer's wait and counted
+// as zero.
+
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PathReport is the result of a critical-path analysis.
+type PathReport struct {
+	// CriticalPath is the longest compute+communication chain.
+	CriticalPath time.Duration
+	// Compute and Comm split the chain into tile-execution time and
+	// remote-edge delivery gaps (CriticalPath = Compute + Comm).
+	Compute, Comm time.Duration
+	// Makespan is the traced end-to-end run time.
+	Makespan time.Duration
+	// Tiles is the number of tiles observed; ChainTiles the number on
+	// the critical chain.
+	Tiles, ChainTiles int
+	// Chain lists the tile IDs on the critical chain, source first.
+	Chain []string
+}
+
+// Ratio returns CriticalPath / Makespan: how much of the run is
+// explained by the longest chain (1.0 means latency-bound — no
+// schedule of this DAG can run faster).
+func (r *PathReport) Ratio() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.CriticalPath) / float64(r.Makespan)
+}
+
+func (r *PathReport) String() string {
+	return fmt.Sprintf("critical path %v (compute %v + comm %v) over %d/%d tiles; makespan %v (ratio %.2f)",
+		r.CriticalPath, r.Compute, r.Comm, r.ChainTiles, r.Tiles, r.Makespan, r.Ratio())
+}
+
+// cpTile is the analyzer's per-tile state.
+type cpTile struct {
+	coords      []int64
+	unpackStart int64 // ns; kernel start when no unpack event exists
+	kernelEnd   int64 // ns
+	haveUnpack  bool
+	haveKernel  bool
+
+	cpEnd     time.Duration // longest chain ending at this tile
+	cpCompute time.Duration
+	pred      string // predecessor tile on that chain; "" for a source
+}
+
+// CriticalPath analyzes a trace. offsets are the tile-space dependence
+// offsets (producer = consumer + offset), as produced by the tiling
+// analysis (Tiling.TileDeps[j].Offset); they are what lets the analyzer
+// rebuild the DAG from tile identities alone, so it works identically
+// on engine and simsched traces.
+func CriticalPath(tr *Trace, offsets [][]int64) (*PathReport, error) {
+	tiles := map[string]*cpTile{}
+	get := func(id string) (*cpTile, error) {
+		t := tiles[id]
+		if t == nil {
+			coords, err := ParseTileID(id)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad tile id %q: %w", id, err)
+			}
+			t = &cpTile{coords: coords}
+			tiles[id] = t
+		}
+		return t, nil
+	}
+	// arrivals[tile] is the latest remote-edge arrival per (tile, dep).
+	type arrival struct{ at int64 }
+	arrivals := map[string]map[int32]arrival{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KUnpack:
+			t, err := get(e.Tile)
+			if err != nil {
+				return nil, err
+			}
+			if !t.haveUnpack || e.Start < t.unpackStart {
+				t.unpackStart = e.Start
+				t.haveUnpack = true
+			}
+		case KKernel:
+			t, err := get(e.Tile)
+			if err != nil {
+				return nil, err
+			}
+			if !t.haveKernel || e.End() > t.kernelEnd {
+				t.kernelEnd = e.End()
+				t.haveKernel = true
+			}
+			if !t.haveUnpack {
+				t.unpackStart = e.Start
+			}
+		case KRecv:
+			if e.Tile == "" || e.Dep < 0 {
+				continue
+			}
+			m := arrivals[e.Tile]
+			if m == nil {
+				m = map[int32]arrival{}
+				arrivals[e.Tile] = m
+			}
+			if a, ok := m[e.Dep]; !ok || e.Start > a.at {
+				m[e.Dep] = arrival{at: e.Start}
+			}
+		}
+	}
+	report := &PathReport{Makespan: tr.Makespan()}
+	var ids []string
+	for id, t := range tiles {
+		if !t.haveKernel {
+			delete(tiles, id) // referenced but never executed in-trace
+			continue
+		}
+		ids = append(ids, id)
+	}
+	report.Tiles = len(ids)
+	if len(ids) == 0 {
+		return report, nil
+	}
+	// Execution order is a topological order of the DAG: a consumer
+	// cannot start before its producers' kernels end.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := tiles[ids[i]], tiles[ids[j]]
+		if a.unpackStart != b.unpackStart {
+			return a.unpackStart < b.unpackStart
+		}
+		return a.kernelEnd < b.kernelEnd
+	})
+	var bestID string
+	var best time.Duration = -1
+	producer := make([]int64, 0, 8)
+	for _, id := range ids {
+		t := tiles[id]
+		span := time.Duration(t.kernelEnd - t.unpackStart)
+		t.cpEnd = span
+		t.cpCompute = span
+		for j, off := range offsets {
+			producer = producer[:0]
+			for k, v := range t.coords {
+				producer = append(producer, v+off[k])
+			}
+			pid := TileID(producer)
+			p := tiles[pid]
+			if p == nil || !p.haveKernel {
+				continue
+			}
+			var gap time.Duration
+			if a, ok := arrivals[id][int32(j)]; ok && a.at > p.kernelEnd {
+				gap = time.Duration(a.at - p.kernelEnd)
+			}
+			if c := p.cpEnd + gap + span; c > t.cpEnd {
+				t.cpEnd = c
+				t.cpCompute = p.cpCompute + span
+				t.pred = pid
+			}
+		}
+		if t.cpEnd > best {
+			best = t.cpEnd
+			bestID = id
+		}
+	}
+	sink := tiles[bestID]
+	report.CriticalPath = sink.cpEnd
+	report.Compute = sink.cpCompute
+	report.Comm = sink.cpEnd - sink.cpCompute
+	for id := bestID; id != ""; id = tiles[id].pred {
+		report.Chain = append(report.Chain, id)
+		report.ChainTiles++
+	}
+	// Reverse: source first.
+	for i, j := 0, len(report.Chain)-1; i < j; i, j = i+1, j-1 {
+		report.Chain[i], report.Chain[j] = report.Chain[j], report.Chain[i]
+	}
+	return report, nil
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTileIDRoundTrip(t *testing.T) {
+	for _, tc := range [][]int64{{0}, {1, 2, 3}, {-4, 0, 17}, {}} {
+		id := TileID(tc)
+		got, err := ParseTileID(id)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		if len(got) != len(tc) {
+			t.Fatalf("%v -> %q -> %v", tc, id, got)
+		}
+		for i := range tc {
+			if got[i] != tc[i] {
+				t.Fatalf("%v -> %q -> %v", tc, id, got)
+			}
+		}
+	}
+}
+
+func TestLaneRingOverwrite(t *testing.T) {
+	tr := NewTracerCap(4)
+	l := tr.Lane(0, 0, "w0")
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Kind: KPop, Start: int64(i), Tile: TileID([]int64{int64(i)})})
+	}
+	snap := tr.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(snap.Events))
+	}
+	// Oldest events dropped; survivors are 6..9 in order.
+	for i, e := range snap.Events {
+		if want := int64(6 + i); e.Start != want {
+			t.Errorf("event %d start %d, want %d", i, e.Start, want)
+		}
+	}
+	if snap.Lanes[0].Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", snap.Lanes[0].Dropped)
+	}
+	if snap.Dropped() != 6 {
+		t.Errorf("total dropped = %d, want 6", snap.Dropped())
+	}
+}
+
+func TestLaneRegistrationIdempotent(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Lane(1, 2, "x")
+	b := tr.Lane(1, 2, "x")
+	if a != b {
+		t.Fatal("Lane() returned distinct handles for the same (node, lane)")
+	}
+	if tr.Lane(1, 3, "y") == a {
+		t.Fatal("distinct lanes share a handle")
+	}
+}
+
+func TestSnapshotOrderAndSpan(t *testing.T) {
+	tr := NewTracerCap(16)
+	l0 := tr.Lane(0, 0, "w0")
+	l1 := tr.Lane(1, 0, "w0")
+	l1.Emit(Event{Kind: KKernel, Start: 50, Dur: 25, Tile: "1"})
+	l0.Emit(Event{Kind: KKernel, Start: 10, Dur: 30, Tile: "0"})
+	snap := tr.Snapshot()
+	if snap.Events[0].Start != 10 || snap.Events[1].Start != 50 {
+		t.Fatalf("events not time-sorted: %+v", snap.Events)
+	}
+	s, e := snap.Span()
+	if s != 10 || e != 75 {
+		t.Fatalf("span = [%d,%d], want [10,75]", s, e)
+	}
+}
+
+// buildTestTrace makes a small two-node trace by hand: tiles 2 -> 1 ->
+// 0 in a 1-D chain (dep offset +1), with the 1->0 edge crossing nodes.
+func buildTestTrace() *Trace {
+	tr := NewTracerCap(64)
+	w0 := tr.Lane(0, 0, "worker0")
+	w1 := tr.Lane(1, 0, "worker0")
+	rv := tr.Lane(1, 1, "recv")
+	// Tile "2": source, node 0, exec [0, 100].
+	w0.Emit(Event{Kind: KPop, Start: 0, Tile: "2", Dep: -1})
+	w0.Emit(Event{Kind: KUnpack, Start: 0, Dur: 10, Tile: "2", Dep: -1})
+	w0.Emit(Event{Kind: KKernel, Start: 10, Dur: 90, Tile: "2", Dep: -1})
+	w0.Emit(Event{Kind: KPack, Start: 100, Dur: 10, Tile: "2", Dep: -1})
+	// Tile "1": node 0, local dep on "2", exec [110, 260].
+	w0.Emit(Event{Kind: KUnpack, Start: 110, Dur: 10, Tile: "1", Dep: -1})
+	w0.Emit(Event{Kind: KKernel, Start: 120, Dur: 140, Tile: "1", Dep: -1})
+	w0.Emit(Event{Kind: KPack, Start: 260, Dur: 20, Tile: "1", Dep: -1})
+	w0.Emit(Event{Kind: KSend, Start: 262, Dur: 15, Tile: "0", Dep: 0, Val: 8})
+	// Edge arrives at node 1 at t=300 (gap from kernel-end 260 = 40).
+	rv.Emit(Event{Kind: KRecv, Start: 300, Tile: "0", Dep: 0, Val: 8})
+	rv.Emit(Event{Kind: KReady, Start: 300, Tile: "0", Dep: -1})
+	// Tile "0": node 1, exec [310, 400].
+	w1.Emit(Event{Kind: KUnpack, Start: 310, Dur: 5, Tile: "0", Dep: -1})
+	w1.Emit(Event{Kind: KKernel, Start: 315, Dur: 85, Tile: "0", Dep: -1})
+	w1.Emit(Event{Kind: KPending, Start: 400, Val: 3})
+	return tr.Snapshot()
+}
+
+func TestCriticalPathHandBuilt(t *testing.T) {
+	tr := buildTestTrace()
+	rep, err := CriticalPath(tr, [][]int64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain 2 -> 1 -> 0: spans (100-0) + (260-110) + (400-310) = 340,
+	// plus the remote gap 300-260 = 40 on the 1->0 edge.
+	if rep.CriticalPath.Nanoseconds() != 380 {
+		t.Errorf("critical path = %dns, want 380", rep.CriticalPath.Nanoseconds())
+	}
+	if rep.Compute.Nanoseconds() != 340 || rep.Comm.Nanoseconds() != 40 {
+		t.Errorf("compute/comm = %d/%d, want 340/40", rep.Compute.Nanoseconds(), rep.Comm.Nanoseconds())
+	}
+	if rep.Tiles != 3 || rep.ChainTiles != 3 {
+		t.Errorf("tiles = %d chain = %d, want 3/3", rep.Tiles, rep.ChainTiles)
+	}
+	if want := []string{"2", "1", "0"}; strings.Join(rep.Chain, " ") != strings.Join(want, " ") {
+		t.Errorf("chain = %v, want %v", rep.Chain, want)
+	}
+	if rep.CriticalPath > rep.Makespan {
+		t.Errorf("critical path %v exceeds makespan %v", rep.CriticalPath, rep.Makespan)
+	}
+	if rep.Ratio() <= 0 || rep.Ratio() > 1 {
+		t.Errorf("ratio = %v", rep.Ratio())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := buildTestTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be a single valid JSON object with a traceEvents array.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := raw["traceEvents"].([]any); !ok {
+		t.Fatal("no traceEvents array")
+	}
+	back, err := ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip %d events, want %d", len(back.Events), len(tr.Events))
+	}
+	count := func(t *Trace, k Kind) int {
+		n := 0
+		for _, e := range t.Events {
+			if e.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	for k := Kind(0); k < kindCount; k++ {
+		if count(back, k) != count(tr, k) {
+			t.Errorf("kind %v: %d events after round trip, want %d", k, count(back, k), count(tr, k))
+		}
+	}
+	// Tile identity and payloads survive.
+	for i, e := range back.Events {
+		if e.Tile != tr.Events[i].Tile || e.Kind != tr.Events[i].Kind || e.Val != tr.Events[i].Val {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, e, tr.Events[i])
+		}
+	}
+	// The critical path computed from the decoded trace matches.
+	rep, err := CriticalPath(back, [][]int64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalPath.Nanoseconds() != 380 {
+		t.Errorf("decoded critical path = %dns, want 380", rep.CriticalPath.Nanoseconds())
+	}
+}
+
+func TestMetricsAndPrometheus(t *testing.T) {
+	tr := buildTestTrace()
+	m := tr.Metrics()
+	if len(m.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(m.Nodes))
+	}
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+	if n0.TilesExecuted != 2 || n1.TilesExecuted != 1 {
+		t.Errorf("tiles = %d/%d, want 2/1", n0.TilesExecuted, n1.TilesExecuted)
+	}
+	if n0.EdgesSent != 1 || n1.EdgesRecv != 1 || n0.ElemsSent != 8 {
+		t.Errorf("edges sent/recv/elems = %d/%d/%d", n0.EdgesSent, n1.EdgesRecv, n0.ElemsSent)
+	}
+	if n1.PendingEdgesPeak != 3 {
+		t.Errorf("pending peak = %d, want 3", n1.PendingEdgesPeak)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dp_tiles_executed_total counter",
+		"dp_tiles_executed_total{node=\"0\"} 2",
+		"dp_tiles_executed_total{node=\"1\"} 1",
+		"dp_edge_elems_sent_total{node=\"0\"} 8",
+		"dp_pending_edges_peak{node=\"1\"} 3",
+		"dp_run_makespan_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	rep, err := CriticalPath(&Trace{}, [][]int64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tiles != 0 || rep.CriticalPath != 0 {
+		t.Errorf("empty trace report: %+v", rep)
+	}
+}

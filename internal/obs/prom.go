@@ -1,0 +1,145 @@
+// Aggregate runtime metrics derived from a trace, exported in the
+// Prometheus text exposition format (version 0.0.4). This is the
+// compact counterpart of the full timeline: what a scrape endpoint or a
+// benchmark harness stores per run.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NodeMetrics are the per-node aggregates of one traced run.
+type NodeMetrics struct {
+	Node             int32   `json:"node"`
+	TilesExecuted    int64   `json:"tiles_executed"`
+	KernelSeconds    float64 `json:"kernel_seconds"`
+	UnpackSeconds    float64 `json:"unpack_seconds"`
+	PackSeconds      float64 `json:"pack_seconds"`
+	IdleSeconds      float64 `json:"idle_seconds"`
+	SendStallSeconds float64 `json:"send_stall_seconds"`
+	EdgesSent        int64   `json:"edges_sent"`
+	EdgesRecv        int64   `json:"edges_recv"`
+	ElemsSent        int64   `json:"elems_sent"`
+	PendingEdgesPeak int64   `json:"pending_edges_peak"`
+	EventsDropped    uint64  `json:"events_dropped"`
+}
+
+// Metrics are the whole-run aggregates.
+type Metrics struct {
+	MakespanSeconds float64       `json:"makespan_seconds"`
+	Nodes           []NodeMetrics `json:"nodes"`
+}
+
+// Metrics folds the trace into per-node aggregates.
+func (tr *Trace) Metrics() *Metrics {
+	m := &Metrics{MakespanSeconds: tr.Makespan().Seconds()}
+	byNode := map[int32]*NodeMetrics{}
+	get := func(node int32) *NodeMetrics {
+		nm := byNode[node]
+		if nm == nil {
+			nm = &NodeMetrics{Node: node}
+			byNode[node] = nm
+		}
+		return nm
+	}
+	for _, e := range tr.Events {
+		nm := get(e.Node)
+		sec := float64(e.Dur) / 1e9
+		switch e.Kind {
+		case KKernel:
+			nm.TilesExecuted++
+			nm.KernelSeconds += sec
+		case KUnpack:
+			nm.UnpackSeconds += sec
+		case KPack:
+			nm.PackSeconds += sec
+		case KIdle:
+			nm.IdleSeconds += sec
+		case KStall:
+			nm.SendStallSeconds += sec
+		case KSend:
+			nm.EdgesSent++
+			nm.ElemsSent += e.Val
+		case KRecv:
+			nm.EdgesRecv++
+		case KPending:
+			if e.Val > nm.PendingEdgesPeak {
+				nm.PendingEdgesPeak = e.Val
+			}
+		}
+	}
+	for _, l := range tr.Lanes {
+		get(l.Node).EventsDropped += l.Dropped
+	}
+	for _, nm := range byNode {
+		m.Nodes = append(m.Nodes, *nm)
+	}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].Node < m.Nodes[j].Node })
+	return m
+}
+
+// promFamily describes one exported metric family.
+type promFamily struct {
+	name, typ, help string
+	val             func(nm *NodeMetrics) any
+}
+
+var promFamilies = []promFamily{
+	{"dp_tiles_executed_total", "counter", "Tiles executed (kernel events) per node.",
+		func(n *NodeMetrics) any { return n.TilesExecuted }},
+	{"dp_kernel_seconds_total", "counter", "Seconds spent in the user kernel per node.",
+		func(n *NodeMetrics) any { return n.KernelSeconds }},
+	{"dp_unpack_seconds_total", "counter", "Seconds spent unpacking received edges per node.",
+		func(n *NodeMetrics) any { return n.UnpackSeconds }},
+	{"dp_pack_seconds_total", "counter", "Seconds spent packing and delivering outgoing edges per node.",
+		func(n *NodeMetrics) any { return n.PackSeconds }},
+	{"dp_idle_seconds_total", "counter", "Seconds workers waited with no ready tile per node.",
+		func(n *NodeMetrics) any { return n.IdleSeconds }},
+	{"dp_send_stall_seconds_total", "counter", "Seconds workers blocked in sends on exhausted buffers per node.",
+		func(n *NodeMetrics) any { return n.SendStallSeconds }},
+	{"dp_edges_sent_total", "counter", "Remote edge messages sent per node.",
+		func(n *NodeMetrics) any { return n.EdgesSent }},
+	{"dp_edges_recv_total", "counter", "Remote edge messages received per node.",
+		func(n *NodeMetrics) any { return n.EdgesRecv }},
+	{"dp_edge_elems_sent_total", "counter", "Float64 elements sent in remote edges per node.",
+		func(n *NodeMetrics) any { return n.ElemsSent }},
+	{"dp_pending_edges_peak", "gauge", "Peak sampled pending-edge count per node (Figure 4 quantity).",
+		func(n *NodeMetrics) any { return n.PendingEdgesPeak }},
+	{"dp_trace_events_dropped_total", "counter", "Trace events lost to ring-buffer overwrite per node.",
+		func(n *NodeMetrics) any { return n.EventsDropped }},
+}
+
+// WritePrometheus writes the metrics in the Prometheus text exposition
+// format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"# HELP dp_run_makespan_seconds End-to-end traced run time.\n"+
+			"# TYPE dp_run_makespan_seconds gauge\n"+
+			"dp_run_makespan_seconds %s\n", promNum(m.MakespanSeconds)); err != nil {
+		return err
+	}
+	for _, f := range promFamilies {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for i := range m.Nodes {
+			nm := &m.Nodes[i]
+			if _, err := fmt.Fprintf(w, "%s{node=\"%d\"} %s\n", f.name, nm.Node, promNum(f.val(nm))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promNum(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}

@@ -15,9 +15,11 @@ package simsched
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
 
 	"dpgen/internal/balance"
 	"dpgen/internal/engine"
+	"dpgen/internal/obs"
 	"dpgen/internal/tiling"
 )
 
@@ -76,6 +78,11 @@ type Config struct {
 	// starves the cross-node pipeline. Exists to demonstrate the
 	// priority-orientation finding (see EXPERIMENTS.md fig7).
 	ReverseKey bool
+	// Tracer, if non-nil, records the simulated tile lifecycle in the
+	// same event schema the real runtime emits (see dpgen/internal/obs),
+	// with simulated seconds mapped to trace nanoseconds from t=0. A
+	// real run and its model can then be diffed timeline to timeline.
+	Tracer *obs.Tracer
 }
 
 // CostCache memoizes tile geometry counts for repeated simulations of
@@ -139,6 +146,10 @@ type simTile struct {
 	level     int64
 	seq       int64
 	index     int
+
+	// Tracing state (only maintained when a Tracer is attached).
+	core  int   // simulated core the tile ran on
+	cells int64 // cell count, recorded by tileCost
 }
 
 // readyHeap mirrors the engine's priority queue.
@@ -188,11 +199,12 @@ func (h *readyHeap) Pop() any {
 type event struct {
 	at   float64
 	seq  int64
-	kind int // 0 = tile finish, 1 = message arrival
+	kind int // 0 = tile finish, 1 = message arrival, 2 = blocked core freed
 	node int
 	tile *simTile // finish: the finished tile; arrival: the consumer
 	dep  int      // arrival: tile dependence index
 	data int64    // arrival: element count
+	core int      // blocked-core-freed: which core (tracing only)
 }
 
 type eventHeap []*event
@@ -229,6 +241,15 @@ type simNode struct {
 	peakEdges    int64
 	executed     int64
 	owned        int64
+
+	// Tracing state (nil / unused without a Tracer). Lane numbering
+	// mirrors the engine: cores 0..Cores-1, receiver at Cores, init at
+	// Cores+1. The simulator is single-threaded, so the single-writer
+	// lane contract holds trivially.
+	coreLanes   []*obs.Lane
+	recvLane    *obs.Lane
+	initLane    *obs.Lane
+	freeCoreIDs []int
 }
 
 type sim struct {
@@ -261,12 +282,23 @@ func Simulate(tl *tiling.Tiling, params []int64, cfg Config) (*Result, error) {
 	s.buildKeyDims()
 	s.nodes = make([]*simNode, cfg.Nodes)
 	for i := range s.nodes {
-		s.nodes[i] = &simNode{
+		n := &simNode{
 			ready:     readyHeap{prio: cfg.Priority},
 			pending:   make(map[string]*simTile),
 			freeCores: cfg.Cores,
 			slotTimes: make([]float64, cfg.SendBufs),
 		}
+		if cfg.Tracer != nil {
+			n.coreLanes = make([]*obs.Lane, cfg.Cores)
+			n.freeCoreIDs = make([]int, cfg.Cores)
+			for c := 0; c < cfg.Cores; c++ {
+				n.coreLanes[c] = cfg.Tracer.Lane(i, c, "core"+strconv.Itoa(c))
+				n.freeCoreIDs[c] = cfg.Cores - 1 - c // pop core 0 first
+			}
+			n.recvLane = cfg.Tracer.Lane(i, cfg.Cores, "recv")
+			n.initLane = cfg.Tracer.Lane(i, cfg.Cores+1, "init")
+		}
+		s.nodes[i] = n
 	}
 
 	// Initial tiles and ownership.
@@ -279,6 +311,9 @@ func Simulate(tl *tiling.Tiling, params []int64, cfg Config) (*Result, error) {
 			st.seq = n.seq
 			n.seq++
 			heap.Push(&n.ready, st)
+			if n.initLane != nil {
+				n.initLane.Emit(obs.Event{Kind: obs.KReady, Tile: obs.TileID(t), Dep: -1})
+			}
 		}
 		return true
 	})
@@ -300,7 +335,11 @@ func Simulate(tl *tiling.Tiling, params []int64, cfg Config) (*Result, error) {
 		case 1:
 			s.arrive(e)
 		case 2: // a core blocked in Send becomes free
-			s.nodes[e.node].freeCores++
+			n := s.nodes[e.node]
+			n.freeCores++
+			if n.coreLanes != nil {
+				n.freeCoreIDs = append(n.freeCoreIDs, e.core)
+			}
 			s.dispatch(e.node)
 		}
 	}
@@ -367,14 +406,28 @@ func (s *sim) dispatch(id int) {
 		cost := s.tileCost(st)
 		n.busy += cost
 		s.res.SerialWork += cost
+		if n.coreLanes != nil {
+			st.core = n.freeCoreIDs[len(n.freeCoreIDs)-1]
+			n.freeCoreIDs = n.freeCoreIDs[:len(n.freeCoreIDs)-1]
+			lane := n.coreLanes[st.core]
+			tid := obs.TileID(st.tile)
+			lane.Emit(obs.Event{Kind: obs.KPop, Start: ns(s.now), Tile: tid, Dep: -1})
+			lane.Emit(obs.Event{Kind: obs.KKernel, Start: ns(s.now),
+				Dur: ns(s.now+cost) - ns(s.now), Tile: tid, Dep: -1, Val: st.cells})
+		}
 		s.eseq++
 		s.events.push(&event{at: s.now + cost, seq: s.eseq, kind: 0, node: id, tile: st})
 	}
 }
 
+// ns maps simulated seconds to trace nanoseconds (origin t=0) — the
+// unit contract of the obs event schema.
+func ns(sec float64) int64 { return int64(sec * 1e9) }
+
 // tileCost models one tile's core time: overhead + cells + pack/unpack.
 func (s *sim) tileCost(st *simTile) float64 {
 	cells := s.cellCount(st.tile)
+	st.cells = cells
 	s.res.TotalCells += cells
 	var outElems int64
 	probe := make([]int64, len(st.tile))
@@ -424,6 +477,12 @@ func (s *sim) finishTile(e *event) {
 	n := s.nodes[e.node]
 	st := e.tile
 	n.executed++
+	var lane *obs.Lane
+	var tid string
+	if n.coreLanes != nil {
+		lane = n.coreLanes[st.core]
+		tid = obs.TileID(st.tile)
+	}
 	coreTime := s.now
 	probe := make([]int64, len(st.tile))
 	for j := range s.tl.TileDeps {
@@ -447,6 +506,10 @@ func (s *sim) finishTile(e *event) {
 		c := s.cfg.Cost
 		slotFree := n.slotTimes[n.nextSlot]
 		if slotFree > coreTime {
+			if lane != nil {
+				lane.Emit(obs.Event{Kind: obs.KStall, Start: ns(coreTime),
+					Dur: ns(slotFree) - ns(coreTime), Tile: tid, Dep: int32(j)})
+			}
 			coreTime = slotFree // the core blocks in Send
 		}
 		start := coreTime
@@ -459,21 +522,33 @@ func (s *sim) finishTile(e *event) {
 		n.nicFree = wireDone
 		s.res.Messages++
 		s.res.Elems += elems
+		if lane != nil {
+			lane.Emit(obs.Event{Kind: obs.KSend, Start: ns(start),
+				Dur: ns(wireDone) - ns(start), Tile: obs.TileID(probe), Dep: int32(j), Val: elems})
+		}
 		s.eseq++
 		s.events.push(&event{
 			at: wireDone + c.MsgLatency, seq: s.eseq, kind: 1,
 			node: owner, tile: s.consumerStub(probe), dep: j, data: elems,
 		})
 	}
+	if lane != nil {
+		// Sample the pending-edge curve at tile completion, mirroring
+		// the engine's KPending series.
+		lane.Emit(obs.Event{Kind: obs.KPending, Start: ns(s.now), Dep: -1, Val: n.pendingEdges})
+	}
 	if coreTime > s.now {
 		// The core was additionally occupied while blocked in Send
 		// (all send buffers in flight); release it when the slot frees.
 		n.busy += coreTime - s.now
 		s.eseq++
-		s.events.push(&event{at: coreTime, seq: s.eseq, kind: 2, node: e.node})
+		s.events.push(&event{at: coreTime, seq: s.eseq, kind: 2, node: e.node, core: st.core})
 		return
 	}
 	n.freeCores++
+	if n.coreLanes != nil {
+		n.freeCoreIDs = append(n.freeCoreIDs, st.core)
+	}
 	s.dispatch(e.node)
 }
 
@@ -484,6 +559,10 @@ func (s *sim) consumerStub(t []int64) *simTile {
 
 // arrive processes a remote edge arrival at its consumer node.
 func (s *sim) arrive(e *event) {
+	if n := s.nodes[e.node]; n.recvLane != nil {
+		n.recvLane.Emit(obs.Event{Kind: obs.KRecv, Start: ns(s.now),
+			Tile: obs.TileID(e.tile.tile), Dep: int32(e.dep), Val: e.data})
+	}
 	s.deliver(e.node, e.tile.tile, e.dep, e.data, s.now)
 	s.dispatch(e.node)
 }
@@ -512,6 +591,9 @@ func (s *sim) deliver(id int, consumer []int64, dep int, elems int64, at float64
 		st.seq = n.seq
 		n.seq++
 		heap.Push(&n.ready, st)
+		if n.recvLane != nil {
+			n.recvLane.Emit(obs.Event{Kind: obs.KReady, Start: ns(at), Tile: obs.TileID(st.tile), Dep: -1})
+		}
 		s.dispatch(id)
 	}
 }
