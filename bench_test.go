@@ -19,6 +19,7 @@ import (
 	"dpgen/internal/problems"
 	"dpgen/internal/simsched"
 	"dpgen/internal/tiling"
+	"dpgen/internal/workload"
 )
 
 func benchTiling(b *testing.B, name string, width int64) *tiling.Tiling {
@@ -404,6 +405,56 @@ func BenchmarkEngineCellThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+// BenchmarkEnginePaperBandit2 runs the 2-arm bandit at the paper's
+// N=100 on a single node, with the interior fast path on (default) and
+// forced off, reporting ns/cell. The snapshot in BENCH_engine.json is
+// produced from the same workload by cmd/dpbench -bench-json.
+func BenchmarkEnginePaperBandit2(b *testing.B) {
+	tl := benchTiling(b, "bandit2", 0)
+	kernel := benchKernel(b, "bandit2")
+	N := int64(100)
+	cells := (N + 1) * (N + 2) * (N + 3) * (N + 4) / 24
+	for _, tc := range []struct {
+		name string
+		slow bool
+	}{{"Fast", false}, {"Boundary", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(tl, kernel, []int64{N}, engine.Config{DisableFastPath: tc.slow}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(cells)*1e9, "ns/cell")
+		})
+	}
+}
+
+// BenchmarkEnginePaperLCS2 runs pairwise LCS on 2000-base DNA strings
+// (the paper's string-problem scale) on a single node, fast path on and
+// off, reporting ns/cell.
+func BenchmarkEnginePaperLCS2(b *testing.B) {
+	p := problems.LCS2(workload.DNA(2000, 9), workload.DNA(2000, 10))
+	tl, err := tiling.New(p.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := p.DefaultParams
+	cells := (params[0] + 1) * (params[1] + 1)
+	for _, tc := range []struct {
+		name string
+		slow bool
+	}{{"Fast", false}, {"Boundary", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(tl, p.Kernel, params, engine.Config{DisableFastPath: tc.slow}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(cells)*1e9, "ns/cell")
+		})
+	}
 }
 
 // BenchmarkSimplexRedundant measures the exact-rational redundancy test.

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/problems"
+	"dpgen/internal/tiling"
+	"dpgen/internal/workload"
+)
+
+// The -bench-json mode measures engine throughput (ns/cell) for every
+// builtin problem at fixed configurations and writes a machine-readable
+// snapshot. The committed BENCH_engine.json seeds the perf trajectory:
+// regenerate with
+//
+//	go run ./cmd/dpbench -bench-json BENCH_engine.json
+//
+// and compare against a previous snapshot with -bench-against.
+
+type benchRow struct {
+	Problem string  `json:"problem"`
+	Params  []int64 `json:"params"`
+	Nodes   int     `json:"nodes"`
+	Threads int     `json:"threads"`
+	Cells   int64   `json:"cells"`
+	NsPerCell   float64 `json:"ns_per_cell"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// BaselineNsPerCell and Speedup are filled when -bench-against
+	// provides an older snapshot with a matching row.
+	BaselineNsPerCell float64 `json:"baseline_ns_per_cell,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+}
+
+type benchSnapshot struct {
+	Schema  string     `json:"schema"`
+	Go      string     `json:"go"`
+	Date    string     `json:"date"`
+	Reps    int        `json:"reps"`
+	Results []benchRow `json:"results"`
+}
+
+// benchCase is one (problem, params, config) measurement target.
+type benchCase struct {
+	name    string
+	prob    *problems.Problem
+	params  []int64
+	nodes   int
+	threads int
+}
+
+// benchCases lists the fixed configurations of the snapshot: every
+// builtin single-node single-thread at its default params (the pure
+// per-cell overhead), plus paper-scale bandit2 and lcs2 rows at 1 and 4
+// threads (the Section VI quantities).
+func benchCases() []benchCase {
+	var cases []benchCase
+	for _, name := range problems.Names() {
+		p, err := problems.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		cases = append(cases, benchCase{name: name, prob: p, params: p.DefaultParams, nodes: 1, threads: 1})
+	}
+	b2 := problems.Bandit2()
+	l2 := problems.LCS2(workload.DNA(2000, 9), workload.DNA(2000, 10))
+	for _, th := range []int{1, 4} {
+		cases = append(cases, benchCase{name: "bandit2@paper", prob: b2, params: []int64{100}, nodes: 1, threads: th})
+		cases = append(cases, benchCase{name: "lcs2@paper", prob: l2, params: l2.DefaultParams, nodes: 1, threads: th})
+	}
+	return cases
+}
+
+func runBenchJSON(out, against string) error {
+	const reps = 3
+	var prev map[string]benchRow
+	if against != "" {
+		raw, err := os.ReadFile(against)
+		if err != nil {
+			return err
+		}
+		var old benchSnapshot
+		if err := json.Unmarshal(raw, &old); err != nil {
+			return fmt.Errorf("parsing %s: %w", against, err)
+		}
+		prev = map[string]benchRow{}
+		for _, r := range old.Results {
+			prev[fmt.Sprintf("%s/%d/%d", r.Problem, r.Nodes, r.Threads)] = r
+		}
+	}
+
+	snap := benchSnapshot{
+		Schema: "dpgen-bench-engine/v1",
+		Go:     runtime.Version(),
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		Reps:   reps,
+	}
+	for _, c := range benchCases() {
+		tl, err := tiling.New(c.prob.Spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		cfg := engine.Config{Nodes: c.nodes, Threads: c.threads}
+		var cells int64
+		best := time.Duration(0)
+		// One warmup run, then best-of-reps wall time around engine.Run.
+		for rep := 0; rep <= reps; rep++ {
+			t0 := time.Now()
+			res, err := engine.Run(tl, c.prob.Kernel, c.params, cfg)
+			el := time.Since(t0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", c.name, err)
+			}
+			cells = 0
+			for _, st := range res.Stats {
+				cells += st.CellsComputed
+			}
+			if rep > 0 && (best == 0 || el < best) {
+				best = el
+			}
+		}
+		row := benchRow{
+			Problem: c.name, Params: c.params, Nodes: c.nodes, Threads: c.threads,
+			Cells:       cells,
+			NsPerCell:   float64(best.Nanoseconds()) / float64(cells),
+			CellsPerSec: float64(cells) / best.Seconds(),
+		}
+		if prev != nil {
+			if old, ok := prev[fmt.Sprintf("%s/%d/%d", row.Problem, row.Nodes, row.Threads)]; ok {
+				row.BaselineNsPerCell = old.NsPerCell
+				row.Speedup = old.NsPerCell / row.NsPerCell
+			}
+		}
+		snap.Results = append(snap.Results, row)
+		fmt.Printf("%-16s params=%v nodes=%d threads=%d  %8.1f ns/cell  %10.2f Mcells/s",
+			row.Problem, row.Params, row.Nodes, row.Threads, row.NsPerCell, row.CellsPerSec/1e6)
+		if row.Speedup > 0 {
+			fmt.Printf("  %.2fx vs baseline", row.Speedup)
+		}
+		fmt.Println()
+	}
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", out, len(snap.Results))
+	return nil
+}

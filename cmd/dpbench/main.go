@@ -53,8 +53,17 @@ func main() {
 		quick   = flag.Bool("quick", false, "smaller instances for a fast pass")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		metrics = flag.String("metrics", "", "directory for per-run metrics snapshots (<exp>-<n>.json and .prom) of the runtime experiments")
+		benchJSON = flag.String("bench-json", "", "write an engine throughput snapshot (ns/cell per builtin at fixed configs) to this file and exit")
+		benchBase = flag.String("bench-against", "", "older -bench-json snapshot to compare against (fills baseline_ns_per_cell/speedup)")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchBase); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *metrics != "" {
 		if err := os.MkdirAll(*metrics, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,8 +40,24 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-node statistics")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus text-exposition snapshot of the run")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	p, err := problems.Get(*name)
 	if err != nil {
@@ -146,6 +164,19 @@ func main() {
 			fatal(fmt.Errorf("MISMATCH: hybrid %v != serial %v", got, want))
 		}
 		fmt.Println("check     OK (bit-identical)")
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle allocations so the profile shows retained heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -298,7 +298,7 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 		if !dpTileInSpace(&consumer) {
 			continue
 		}
-		data := dpPackEdge(j, &p.tile, V, nil)
+		data := dpPackEdge(j, &p.tile, V, make([]dpElem, 0, dpEdgeCap[j]))
 		dst := g.owner[dpLBKeyOf(&consumer)]
 		if dst == n.id {
 			n.deliver(j, consumer, data)

@@ -11,6 +11,15 @@
 // locally or send them to the owning rank. A receiver goroutine per node
 // plays the role of the paper's "poll for incoming edges" step.
 //
+// The hot path is split by the interior-tile classification of
+// dpgen/internal/tiling: tiles whose whole dependence shell lies inside
+// the iteration space run a precompiled dense loop nest with no per-cell
+// validity checks, and pack/unpack collapse to strided copies; only
+// boundary tiles pay for the exact nest. Edge buffers cycle through the
+// mpi package's pools and the pending table is keyed by a collision-free
+// integer packing of the tile coordinates, so the steady-state loop
+// allocates nothing.
+//
 // Only tiles in execution have full buffers; tiles awaiting execution
 // hold just their edges, giving the O(n^{d-1}) memory behaviour of
 // Section V-B. Cell values are bit-identical for every node count,
@@ -23,8 +32,8 @@ import (
 	"math"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpgen/internal/balance"
@@ -52,6 +61,12 @@ type Config struct {
 	QueueGroups int
 	Priority    Priority
 	Balance     balance.Method
+	// DisableFastPath forces every tile through the exact
+	// boundary-tile machinery (per-cell validity checks, nest-driven
+	// pack/unpack), bypassing the interior-tile classification. Results
+	// are bit-identical either way; the flag exists for verification
+	// and overhead measurement.
+	DisableFastPath bool
 	// OnCell, if set, is invoked for every computed cell with the global
 	// coordinates and the computed value. Called concurrently from
 	// workers; the coordinate slice must not be retained.
@@ -147,6 +162,11 @@ type engine struct {
 	goalTile  []int64
 	goalLocal []int64
 
+	// Mixed-radix packing of tile coordinates into the collision-free
+	// uint64 pending-table key (see buildIntKeys).
+	keyLo  []int64
+	keyMul []uint64
+
 	goalMu  sync.Mutex
 	goalVal float64
 	goalSet bool
@@ -192,6 +212,9 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	}
 	e.goalTile, e.goalLocal = tl.GoalTile()
 	e.buildKeyDims()
+	if err := e.buildIntKeys(); err != nil {
+		return nil, err
+	}
 
 	// Serial initialization (Section IV-K): owned-tile totals come from
 	// the balancer's per-slab tile counts, and the initial tiles from the
@@ -219,11 +242,16 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	}
 	for _, t := range initial {
 		n := nodes[assign.Owner(t)]
-		p := &pendTile{tile: t, seq: n.seq}
+		p := &pendTile{
+			tile: append([]int64(nil), t...),
+			key:  make([]int64, len(e.keyDims)),
+			seq:  n.seq,
+		}
 		n.seq++
-		p.key = e.makeKey(t, nil)
+		e.makeKey(p.tile, p.key)
 		p.level = -sum64(p.key)
-		n.ready[n.groupOf(t)].push(p)
+		p.group = n.groupOf(p.tile)
+		n.ready[p.group].push(p)
 		if cfg.Tracer != nil {
 			cfg.Tracer.Lane(n.id, laneInit(cfg), "init").Instant(obs.KReady, obs.TileID(t), -1, 0)
 		}
@@ -293,6 +321,8 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	res.Messages, res.Elems = comm.Stats()
 	for i, n := range nodes {
 		n.st.Steals = n.steals
+		n.st.PeakPendingEdges = n.peakPendingEdges.Load()
+		n.st.PeakBufferedElems = n.peakBufferedElems.Load()
 		res.Stats[i] = n.st
 	}
 	e.goalMu.Lock()
@@ -327,6 +357,39 @@ func (e *engine) buildKeyDims() {
 	}
 }
 
+// buildIntKeys derives the mixed-radix strides that pack a tile's
+// coordinates into one uint64: coordinates are offset by the tile-space
+// bounding box and weighted by the running extent product, so distinct
+// tiles always map to distinct keys.
+func (e *engine) buildIntKeys() error {
+	lo, hi := e.tl.TileBounds(e.params)
+	e.keyLo = lo
+	e.keyMul = make([]uint64, len(lo))
+	m := int64(1)
+	for k := range lo {
+		e.keyMul[k] = uint64(m)
+		ext := hi[k] - lo[k] + 1
+		if ext < 1 {
+			ext = 1
+		}
+		if m > math.MaxInt64/ext {
+			return fmt.Errorf("engine: tile space too large for integer keys (extents %v)", hi)
+		}
+		m *= ext
+	}
+	return nil
+}
+
+// intKey packs tile coordinates into the collision-free pending-table
+// key.
+func (e *engine) intKey(t []int64) uint64 {
+	k := uint64(0)
+	for i, v := range t {
+		k += uint64(v-e.keyLo[i]) * e.keyMul[i]
+	}
+	return k
+}
+
 // node is one simulated shared-memory node.
 type node struct {
 	eng  *engine
@@ -335,7 +398,7 @@ type node struct {
 
 	mu      sync.Mutex
 	conds   []*sync.Cond // one per queue group, sharing mu
-	pending map[string]*pendTile
+	pending map[uint64]*pendTile
 	ready   []tileHeap // one priority queue per group (Section VII-C)
 	done    bool
 	seq     int64
@@ -345,8 +408,12 @@ type node struct {
 	executed   int64
 	finishOnce sync.Once
 
-	pendingEdges  int64
-	bufferedElems int64
+	// Edge-memory accounting is atomic so deliver and execTile touch it
+	// without the node lock.
+	pendingEdges      atomic.Int64
+	bufferedElems     atomic.Int64
+	peakPendingEdges  atomic.Int64
+	peakBufferedElems atomic.Int64
 
 	st NodeStats
 }
@@ -357,7 +424,7 @@ func newNode(e *engine, id int) *node {
 		eng:     e,
 		id:      id,
 		rank:    e.comm.Rank(id),
-		pending: make(map[string]*pendTile),
+		pending: make(map[uint64]*pendTile),
 		ready:   make([]tileHeap, g),
 		conds:   make([]*sync.Cond, g),
 	}
@@ -410,15 +477,6 @@ func (n *node) popReady(home int) *pendTile {
 	return nil
 }
 
-func tileKey(t []int64) string {
-	var b strings.Builder
-	for _, v := range t {
-		b.WriteString(strconv.FormatInt(v, 10))
-		b.WriteByte(',')
-	}
-	return b.String()
-}
-
 // worker is the per-thread main loop (Section V-A): claim the best ready
 // tile, execute it, repeat.
 func (n *node) worker(home int, lane *obs.Lane) {
@@ -461,7 +519,7 @@ func (n *node) workerPolling(home int, lane *obs.Lane) {
 			n.execTile(p, w)
 			continue
 		}
-		if n.poll(lane) {
+		if n.poll(lane, &w.ds) {
 			continue
 		}
 		if done {
@@ -473,14 +531,14 @@ func (n *node) workerPolling(home int, lane *obs.Lane) {
 
 // poll drains at most one pending inbox message; reports whether one was
 // processed. Delivered-edge events go to the polling goroutine's lane.
-func (n *node) poll(lane *obs.Lane) bool {
+func (n *node) poll(lane *obs.Lane, ds *delivState) bool {
 	m, ok := n.rank.Iprobe()
 	if !ok {
 		return false
 	}
-	consumer := append([]int64(nil), m.Meta...)
-	n.deliver(consumer, m.Tag, m.Data, true, lane)
-	m.Release()
+	n.deliver(m.Meta, m.Tag, m.Data, true, lane, ds)
+	m.ReleaseSlot()
+	mpi.PutMeta(m.Meta)
 	return true
 }
 
@@ -488,51 +546,112 @@ func (n *node) poll(lane *obs.Lane) bool {
 // pending table. It is the progress engine standing in for the paper's
 // lock-guarded polling step; it exits when the communicator closes.
 func (n *node) receiver(lane *obs.Lane) {
+	ds := newDelivState(n.eng)
 	for {
 		m, ok := n.rank.Recv()
 		if !ok {
 			return
 		}
-		consumer := append([]int64(nil), m.Meta...)
-		n.deliver(consumer, m.Tag, m.Data, true, lane)
-		m.Release()
+		n.deliver(m.Meta, m.Tag, m.Data, true, lane, ds)
+		m.ReleaseSlot()
+		mpi.PutMeta(m.Meta)
+	}
+}
+
+// delivState is per-goroutine delivery scratch: a reusable polytope
+// probe and a recycled pending-table entry, so the steady-state deliver
+// path allocates nothing.
+type delivState struct {
+	probe *tiling.TileProbe
+	spare *pendTile
+}
+
+func newDelivState(e *engine) *delivState {
+	return &delivState{probe: e.tl.NewProbe(e.params)}
+}
+
+// recycle offers an executed tile's entry for reuse by the next
+// pending-table miss on this goroutine.
+func (ds *delivState) recycle(p *pendTile) {
+	if ds.spare != nil {
+		return
+	}
+	for i := range p.edges {
+		p.edges[i] = edge{}
+	}
+	p.edges = p.edges[:0]
+	ds.spare = p
+}
+
+// prepTile builds a ready-to-insert pending-table entry. The dependence
+// count, priority key, level and queue group are all polytope
+// evaluations, so this runs outside the node lock.
+func (n *node) prepTile(ds *delivState, consumer []int64) *pendTile {
+	e := n.eng
+	p := ds.spare
+	if p != nil {
+		ds.spare = nil
+	} else {
+		p = &pendTile{
+			tile: make([]int64, len(consumer)),
+			key:  make([]int64, len(e.keyDims)),
+		}
+	}
+	copy(p.tile, consumer)
+	p.remaining = ds.probe.DepCount(p.tile)
+	e.makeKey(p.tile, p.key)
+	p.level = -sum64(p.key)
+	p.group = n.groupOf(p.tile)
+	return p
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
 // deliver records one incoming edge for a consumer tile, moving the tile
 // to the ready queue when its last dependence arrives. lane is the
-// calling goroutine's trace lane (nil when untraced).
-func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, lane *obs.Lane) {
+// calling goroutine's trace lane (nil when untraced); ds is its
+// delivery scratch.
+func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, lane *obs.Lane, ds *delivState) {
 	e := n.eng
+	if remote && lane != nil {
+		lane.Instant(obs.KRecv, obs.TileID(consumer), int32(dep), int64(len(data)))
+	}
+	atomicMax(&n.peakPendingEdges, n.pendingEdges.Add(1))
+	atomicMax(&n.peakBufferedElems, n.bufferedElems.Add(int64(len(data))))
+
+	k := e.intKey(consumer)
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	p := n.pending[k]
+	if p == nil {
+		// First edge for this tile. The entry needs polytope work
+		// (prepTile), which must not run under the lock: release it,
+		// prepare, re-check. Another deliverer may win the race, in
+		// which case the prepared entry is kept as the next spare.
+		n.mu.Unlock()
+		prep := n.prepTile(ds, consumer)
+		n.mu.Lock()
+		if p = n.pending[k]; p == nil {
+			p = prep
+			n.pending[k] = p
+		} else {
+			ds.spare = prep
+		}
+	}
 	if remote {
 		n.st.EdgesRecvRemote++
-		if lane != nil {
-			lane.Instant(obs.KRecv, obs.TileID(consumer), int32(dep), int64(len(data)))
-		}
 	} else {
 		n.st.EdgesLocal++
 	}
-	k := tileKey(consumer)
-	p := n.pending[k]
-	if p == nil {
-		p = &pendTile{
-			tile:      append([]int64(nil), consumer...),
-			remaining: e.tl.DepCount(e.params, consumer),
-		}
-		n.pending[k] = p
-	}
 	p.edges = append(p.edges, edge{dep: dep, data: data})
 	p.remaining--
-	n.pendingEdges++
-	n.bufferedElems += int64(len(data))
-	if n.pendingEdges > n.st.PeakPendingEdges {
-		n.st.PeakPendingEdges = n.pendingEdges
-	}
-	if n.bufferedElems > n.st.PeakBufferedElems {
-		n.st.PeakBufferedElems = n.bufferedElems
-	}
 	if t := int64(len(n.pending) + n.readyLen()); t > n.st.PeakPendingTiles {
 		n.st.PeakPendingTiles = t
 	}
@@ -540,26 +659,26 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 		delete(n.pending, k)
 		p.seq = n.seq
 		n.seq++
-		p.key = e.makeKey(p.tile, nil)
-		p.level = -sum64(p.key)
-		g := n.groupOf(p.tile)
-		n.ready[g].push(p)
+		n.ready[p.group].push(p)
 		if lane != nil {
 			lane.Instant(obs.KReady, obs.TileID(p.tile), -1, 0)
 		}
-		n.conds[g].Signal()
+		n.conds[p.group].Signal()
 	}
+	n.mu.Unlock()
 }
 
 // workerState is per-worker scratch: the tile buffer with its ghost
-// shell, and the kernel context.
+// shell, the kernel context, and the reusable polytope probe.
 type workerState struct {
 	buf      []float64
 	ctx      Ctx
 	specVals []int64
 	x        []int64
-	probe    []int64
-	keyBuf   []int64
+	i        []int64
+	tbuf     []int64 // producer/consumer tile scratch
+	probe    *tiling.TileProbe
+	ds       delivState
 	lane     *obs.Lane // trace timeline; nil when untraced
 }
 
@@ -569,9 +688,13 @@ func newWorkerState(e *engine) *workerState {
 		buf:      make([]float64, e.tl.AllocLen),
 		specVals: make([]int64, e.tl.Spec.Space().N()),
 		x:        make([]int64, d),
-		probe:    make([]int64, d),
-		keyBuf:   make([]int64, d),
+		i:        make([]int64, d),
+		tbuf:     make([]int64, d),
+		probe:    e.tl.NewProbe(e.params),
 	}
+	// The probe is shared with the delivery scratch: all uses are
+	// call-scoped on this worker's goroutine.
+	w.ds = delivState{probe: w.probe}
 	copy(w.specVals, e.params)
 	w.ctx = Ctx{
 		V:        w.buf,
@@ -597,6 +720,7 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	e := n.eng
 	tl := e.tl
 	d := len(tl.Spec.Vars)
+	fast := !e.cfg.DisableFastPath
 
 	// Tracing: one nil check per phase; tid and timestamps are only
 	// computed when a tracer is attached.
@@ -611,69 +735,84 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 
 	// Unpack received edges into the ghost shell. The producer of edge
 	// dep j is p.tile + offset_j; pack and unpack share that producer's
-	// slab nest, so the element order matches exactly.
+	// slab order, so the elements match exactly. A full-slab edge (its
+	// length equals the dense size) unpacks with the precompiled strided
+	// copy regardless of how the producer packed it; partial boundary
+	// slabs walk the exact nest.
+	var freedElems int64
 	for _, ed := range p.edges {
-		producer := w.probe
-		off := tl.TileDeps[ed.dep].Offset
-		for k := 0; k < d; k++ {
-			producer[k] = p.tile[k] + off[k]
+		if fast && int64(len(ed.data)) == tl.InteriorEdgeSize[ed.dep] {
+			tl.UnpackInterior(ed.dep, w.buf, ed.data)
+		} else {
+			producer := w.tbuf
+			off := tl.TileDeps[ed.dep].Offset
+			for k := 0; k < d; k++ {
+				producer[k] = p.tile[k] + off[k]
+			}
+			idx := 0
+			tl.ForEachEdgeCell(e.params, producer, ed.dep, func(i []int64) bool {
+				w.buf[tl.UnpackLoc(ed.dep, i)] = ed.data[idx]
+				idx++
+				return true
+			})
+			if idx != len(ed.data) {
+				panic(fmt.Sprintf("engine: unpack size mismatch: %d cells, %d values", idx, len(ed.data)))
+			}
 		}
-		idx := 0
-		tl.ForEachEdgeCell(e.params, producer, ed.dep, func(i []int64) bool {
-			w.buf[tl.UnpackLoc(ed.dep, i)] = ed.data[idx]
-			idx++
-			return true
-		})
-		if idx != len(ed.data) {
-			panic(fmt.Sprintf("engine: unpack size mismatch: %d cells, %d values", idx, len(ed.data)))
-		}
+		freedElems += int64(len(ed.data))
+		// Edge storage returns to the shared pool once unpacked.
+		mpi.PutData(ed.data)
 	}
-	// Edge storage is released now that it is unpacked.
-	n.mu.Lock()
-	n.pendingEdges -= int64(len(p.edges))
-	for _, ed := range p.edges {
-		n.bufferedElems -= int64(len(ed.data))
+	n.pendingEdges.Add(-int64(len(p.edges)))
+	n.bufferedElems.Add(-freedElems)
+	for i := range p.edges {
+		p.edges[i] = edge{}
 	}
-	n.mu.Unlock()
-	p.edges = nil
+	p.edges = p.edges[:0]
 	if lane != nil {
 		lane.Span(obs.KUnpack, tid, -1, 0, t0)
 		t0 = lane.Now()
 	}
 
-	// Execute the cells in dependence order.
+	// Execute the cells in dependence order: interior tiles through the
+	// precompiled dense nest, boundary tiles through the exact
+	// bound-evaluating enumerator with per-cell validity checks.
 	var cells int64
 	tileMax := math.Inf(-1)
-	np := len(e.params)
-	nd := len(tl.Spec.Deps)
-	goal := sameTile(p.tile, e.goalTile)
-	tl.ForEachCell(e.params, p.tile, func(i []int64) bool {
-		cells++
-		loc := tl.Loc(i)
-		for k := 0; k < d; k++ {
-			w.x[k] = i[k] + tl.Widths[k]*p.tile[k]
-			w.specVals[np+k] = w.x[k]
-		}
-		w.ctx.Loc = loc
-		w.ctx.I = i
-		for j := 0; j < nd; j++ {
-			w.ctx.DepLoc[j] = loc + tl.DepLocOff[j]
-			w.ctx.DepValid[j] = tl.DepValid(j, w.specVals)
-		}
-		e.kernel(&w.ctx)
-		if v := w.buf[loc]; v > tileMax {
-			tileMax = v
-		}
-		if e.cfg.OnCell != nil {
-			e.cfg.OnCell(w.x, w.buf[loc])
-		}
-		return true
-	})
+	interior := fast && w.probe.Interior(p.tile)
+	if interior {
+		cells, tileMax = n.execInterior(p, w)
+	} else {
+		np := len(e.params)
+		nd := len(tl.Spec.Deps)
+		tl.ForEachCell(e.params, p.tile, func(i []int64) bool {
+			cells++
+			loc := tl.Loc(i)
+			for k := 0; k < d; k++ {
+				w.x[k] = i[k] + tl.Widths[k]*p.tile[k]
+				w.specVals[np+k] = w.x[k]
+			}
+			w.ctx.Loc = loc
+			w.ctx.I = i
+			for j := 0; j < nd; j++ {
+				w.ctx.DepLoc[j] = loc + tl.DepLocOff[j]
+				w.ctx.DepValid[j] = tl.DepValid(j, w.specVals)
+			}
+			e.kernel(&w.ctx)
+			if v := w.buf[loc]; v > tileMax {
+				tileMax = v
+			}
+			if e.cfg.OnCell != nil {
+				e.cfg.OnCell(w.x, w.buf[loc])
+			}
+			return true
+		})
+	}
 	if lane != nil {
 		lane.Span(obs.KKernel, tid, -1, cells, t0)
 	}
 
-	if goal {
+	if sameTile(p.tile, e.goalTile) {
 		v := w.buf[tl.Loc(e.goalLocal)]
 		e.goalMu.Lock()
 		e.goalVal = v
@@ -690,28 +829,40 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	}
 
 	// Pack and deliver outgoing edges (steps 4a/4b of Section V-A).
+	// Buffers come from the shared pool, sized by the dense slab bound,
+	// so packing never grows a slice; interior tiles fill with strided
+	// copies.
 	if lane != nil {
 		t0 = lane.Now()
 	}
+	var sentRemote int64
+	var stallSum time.Duration
 	for j := range tl.TileDeps {
 		off := tl.TileDeps[j].Offset
-		consumer := w.probe
+		consumer := w.tbuf
 		for k := 0; k < d; k++ {
 			consumer[k] = p.tile[k] - off[k]
 		}
-		if !tl.InTileSpace(e.params, consumer) {
+		if !w.probe.InSpace(consumer) {
 			continue
 		}
 		var data []float64
-		tl.ForEachEdgeCell(e.params, p.tile, j, func(i []int64) bool {
-			data = append(data, w.buf[tl.Loc(i)])
-			return true
-		})
+		if interior {
+			data = mpi.GetData(int(tl.InteriorEdgeSize[j]))
+			tl.PackInterior(j, w.buf, data)
+		} else {
+			data = mpi.GetData(int(tl.InteriorEdgeSize[j]))[:0]
+			tl.ForEachEdgeCell(e.params, p.tile, j, func(i []int64) bool {
+				data = append(data, w.buf[tl.Loc(i)])
+				return true
+			})
+		}
 		owner := e.assign.Owner(consumer)
 		if owner == n.id {
-			n.deliver(consumer, j, data, false, lane)
+			n.deliver(consumer, j, data, false, lane, &w.ds)
 		} else {
-			meta := append([]int64(nil), consumer...)
+			meta := mpi.GetMeta(d)
+			copy(meta, consumer)
 			var sendT0 int64
 			if lane != nil {
 				sendT0 = lane.Now()
@@ -719,7 +870,7 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 			var stall time.Duration
 			if e.cfg.PollingRecv {
 				stall = n.rank.SendPolling(owner, j, data, meta, func() {
-					if !n.poll(lane) {
+					if !n.poll(lane, &w.ds) {
 						runtime.Gosched()
 					}
 				})
@@ -732,29 +883,150 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 				}
 				lane.Span(obs.KSend, obs.TileID(consumer), int32(j), int64(len(data)), sendT0)
 			}
-			n.mu.Lock()
-			n.st.EdgesSentRemote++
-			n.st.SendStallTime += stall
-			n.mu.Unlock()
+			sentRemote++
+			stallSum += stall
 		}
 	}
 	if lane != nil {
 		lane.Span(obs.KPack, tid, -1, 0, t0)
 	}
 
+	// One batched stats update per tile.
 	n.mu.Lock()
 	n.st.TilesExecuted++
 	n.st.CellsComputed += cells
+	n.st.EdgesSentRemote += sentRemote
+	n.st.SendStallTime += stallSum
 	n.executed++
 	finished := n.executed == n.ownedTotal
+	n.mu.Unlock()
 	// Sample the pending-edge curve (the Figure 4 quantity as a time
 	// series) at every tile completion.
 	if lane != nil {
-		lane.Instant(obs.KPending, "", -1, n.pendingEdges)
+		lane.Instant(obs.KPending, "", -1, n.pendingEdges.Load())
 	}
-	n.mu.Unlock()
+	w.ds.recycle(p)
 	if finished {
 		n.checkFinished()
+	}
+}
+
+// execInterior runs the precompiled dense loop nest over an interior
+// tile: every cell of the full rectangle is in the iteration space and
+// every template dependence is valid at every cell, so there are no
+// per-cell bound evaluations, no validity checks and no enumerator
+// closures — just an odometer over the outer levels and a tight
+// innermost loop with incremental buffer locations.
+func (n *node) execInterior(p *pendTile, w *workerState) (cells int64, tileMax float64) {
+	e := n.eng
+	tl := e.tl
+	lv := tl.Dense
+	d := len(lv)
+	ctx := &w.ctx
+	ctx.I = w.i
+	for j := range ctx.DepValid {
+		ctx.DepValid[j] = true
+	}
+	depOff := tl.DepLocOff
+	nd := len(depOff)
+	kernel := e.kernel
+	onCell := e.cfg.OnCell
+	buf := w.buf
+
+	// Outer-level odometer state; rowLoc is the buffer index of the
+	// current row's origin (innermost variable at local 0).
+	var idxArr [16]int64
+	idx := idxArr[:]
+	if d > len(idxArr) {
+		idx = make([]int64, d)
+	}
+	rowLoc := tl.BaseOff
+	for l := 0; l < d-1; l++ {
+		L := lv[l]
+		if L.Dir < 0 {
+			idx[l] = L.Width - 1
+		}
+		rowLoc += idx[l] * L.Stride
+		w.i[L.Var] = idx[l]
+		w.x[L.Var] = tl.Widths[L.Var]*p.tile[L.Var] + idx[l]
+	}
+	in := lv[d-1]
+	iv := in.Var
+	xb := tl.Widths[iv] * p.tile[iv]
+	tileMax = math.Inf(-1)
+	for {
+		if in.Dir >= 0 {
+			loc := rowLoc
+			for i := int64(0); i < in.Width; i++ {
+				w.i[iv] = i
+				w.x[iv] = xb + i
+				ctx.Loc = loc
+				for j := 0; j < nd; j++ {
+					ctx.DepLoc[j] = loc + depOff[j]
+				}
+				kernel(ctx)
+				if v := buf[loc]; v > tileMax {
+					tileMax = v
+				}
+				if onCell != nil {
+					onCell(w.x, buf[loc])
+				}
+				loc += in.Stride
+			}
+		} else {
+			loc := rowLoc + (in.Width-1)*in.Stride
+			for i := in.Width - 1; i >= 0; i-- {
+				w.i[iv] = i
+				w.x[iv] = xb + i
+				ctx.Loc = loc
+				for j := 0; j < nd; j++ {
+					ctx.DepLoc[j] = loc + depOff[j]
+				}
+				kernel(ctx)
+				if v := buf[loc]; v > tileMax {
+					tileMax = v
+				}
+				if onCell != nil {
+					onCell(w.x, buf[loc])
+				}
+				loc -= in.Stride
+			}
+		}
+		cells += in.Width
+
+		// Advance the outer odometer (innermost outer level first).
+		l := d - 2
+		for ; l >= 0; l-- {
+			L := lv[l]
+			if L.Dir >= 0 {
+				idx[l]++
+				rowLoc += L.Stride
+				w.i[L.Var] = idx[l]
+				w.x[L.Var]++
+				if idx[l] < L.Width {
+					break
+				}
+				idx[l] = 0
+				rowLoc -= L.Width * L.Stride
+				w.i[L.Var] = 0
+				w.x[L.Var] -= L.Width
+			} else {
+				idx[l]--
+				rowLoc -= L.Stride
+				w.i[L.Var] = idx[l]
+				w.x[L.Var]--
+				if idx[l] >= 0 {
+					break
+				}
+				idx[l] = L.Width - 1
+				rowLoc += L.Width * L.Stride
+				w.i[L.Var] = idx[l]
+				w.x[L.Var] += L.Width
+			}
+		}
+		if l < 0 {
+			return cells, tileMax
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ type pendTile struct {
 	level     int64   // dependence depth proxy (-sum of key), for LevelSet
 	seq       int64   // arrival order, for FIFO and tie-breaking
 	index     int     // heap index
+	group     int     // ready-queue group (computed off-lock at insert)
 }
 
 type edge struct {

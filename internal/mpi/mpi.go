@@ -20,25 +20,108 @@ import (
 )
 
 // Message is a tagged payload between ranks. After processing, the
-// receiver must call Release to return the sender's send-buffer slot.
+// receiver must call Release to return the sender's send-buffer slot
+// and recycle the payload buffers — or ReleaseSlot if it needs to keep
+// the payload.
 type Message struct {
 	Src  int
 	Tag  int
 	Data []float64
 	Meta []int64
 
-	slot chan struct{}
-	once sync.Once
+	slot     chan struct{}
+	once     sync.Once
+	recycled atomic.Bool
 }
 
-// Release returns the send-buffer slot to the sender. Safe to call
-// multiple times; only the first has effect.
+// Release returns the send-buffer slot to the sender and recycles
+// m.Data and m.Meta into the shared buffer pools: the caller must not
+// retain either slice past this call. Safe to call multiple times; only
+// the first has effect.
 func (m *Message) Release() {
+	m.ReleaseSlot()
+	if m.recycled.CompareAndSwap(false, true) {
+		PutData(m.Data)
+		PutMeta(m.Meta)
+		m.Data, m.Meta = nil, nil
+	}
+}
+
+// ReleaseSlot returns the send-buffer slot without recycling the
+// payload, for receivers that keep m.Data or m.Meta alive past the
+// release point (they then recycle via PutData/PutMeta themselves, or
+// let the GC have the slices). Safe to call multiple times.
+func (m *Message) ReleaseSlot() {
 	m.once.Do(func() {
 		if m.slot != nil {
 			<-m.slot
 		}
 	})
+}
+
+// Edge-buffer pools. Packed tile edges dominate allocation in the
+// runtime's hot path, so payload slices cycle through sync.Pools: the
+// engine (and Message.Release) return them with PutData/PutMeta and
+// producers draw them with GetData/GetMeta. The second pool of each
+// pair recycles the pointer-sized headers so the steady state allocates
+// nothing at all.
+var (
+	dataPool, dataHdrs sync.Pool // *[]float64: full buffers / spare headers
+	metaPool, metaHdrs sync.Pool // *[]int64
+)
+
+// GetData returns a []float64 of length n, reusing pooled capacity when
+// possible. The contents are unspecified.
+func GetData(n int) []float64 {
+	if p, _ := dataPool.Get().(*[]float64); p != nil {
+		s := *p
+		*p = nil
+		dataHdrs.Put(p)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutData recycles a buffer obtained from GetData (or received in a
+// Message). The caller must not use s afterwards.
+func PutData(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	p, _ := dataHdrs.Get().(*[]float64)
+	if p == nil {
+		p = new([]float64)
+	}
+	*p = s[:0]
+	dataPool.Put(p)
+}
+
+// GetMeta returns an []int64 of length n from the metadata pool.
+func GetMeta(n int) []int64 {
+	if p, _ := metaPool.Get().(*[]int64); p != nil {
+		s := *p
+		*p = nil
+		metaHdrs.Put(p)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+// PutMeta recycles a metadata slice. The caller must not use s afterwards.
+func PutMeta(s []int64) {
+	if cap(s) == 0 {
+		return
+	}
+	p, _ := metaHdrs.Get().(*[]int64)
+	if p == nil {
+		p = new([]int64)
+	}
+	*p = s[:0]
+	metaPool.Put(p)
 }
 
 // Comm is a communicator over a fixed set of ranks.

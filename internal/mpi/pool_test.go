@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"testing"
+)
+
+// TestDataPoolRoundTrip: a recycled buffer comes back with its capacity
+// and the requested length, and undersized pooled buffers are not
+// returned for larger requests.
+func TestDataPoolRoundTrip(t *testing.T) {
+	s := GetData(64)
+	if len(s) != 64 {
+		t.Fatalf("GetData(64) length %d", len(s))
+	}
+	PutData(s)
+	// Drain with a larger request: pooled 64-cap must not satisfy it.
+	big := GetData(128)
+	if len(big) != 128 {
+		t.Fatalf("GetData(128) length %d", len(big))
+	}
+	for i := range big {
+		big[i] = float64(i)
+	}
+	PutData(big)
+	PutData(nil) // zero-cap is a no-op
+
+	m := GetMeta(8)
+	if len(m) != 8 {
+		t.Fatalf("GetMeta(8) length %d", len(m))
+	}
+	PutMeta(m)
+	PutMeta(nil)
+}
+
+// TestReleaseRecyclesPayload: Release nils out Data/Meta (the
+// recycling contract: callers must not retain them) and stays
+// idempotent for both the slot and the pools.
+func TestReleaseRecyclesPayload(t *testing.T) {
+	c, err := NewComm(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GetData(3)
+	data[0], data[1], data[2] = 1, 2, 3
+	meta := GetMeta(2)
+	meta[0], meta[1] = 7, 8
+	c.Rank(0).Send(1, 0, data, meta)
+	m, ok := c.Rank(1).Recv()
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if m.Data[2] != 3 || m.Meta[1] != 8 {
+		t.Fatalf("payload corrupted before release: %+v", m)
+	}
+	m.Release()
+	if m.Data != nil || m.Meta != nil {
+		t.Errorf("Release must drop the payload references, got %+v", m)
+	}
+	m.Release() // idempotent: must not double-pool
+	// The sender's slot must be free again: a second send cannot block.
+	done := make(chan struct{})
+	go func() {
+		c.Rank(0).Send(1, 1, GetData(1), nil)
+		close(done)
+	}()
+	m2, ok := c.Rank(1).Recv()
+	if !ok {
+		t.Fatal("second recv failed")
+	}
+	<-done
+	m2.Release()
+}
+
+// TestReleaseSlotKeepsPayload: ReleaseSlot frees the sender without
+// touching the payload, so a receiver may unpack after releasing.
+func TestReleaseSlotKeepsPayload(t *testing.T) {
+	c, err := NewComm(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Rank(0).Send(1, 0, []float64{4, 5}, []int64{9})
+	m, ok := c.Rank(1).Recv()
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	m.ReleaseSlot()
+	if m.Data[1] != 5 || m.Meta[0] != 9 {
+		t.Errorf("payload must survive ReleaseSlot: %+v", m)
+	}
+	m.ReleaseSlot() // idempotent
+	PutData(m.Data)
+	PutMeta(m.Meta)
+}
+
+func BenchmarkDataPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := GetData(256)
+		PutData(s)
+	}
+}

@@ -1,0 +1,293 @@
+package tiling
+
+import (
+	"fmt"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/ints"
+	"dpgen/internal/lin"
+	"dpgen/internal/loopgen"
+)
+
+// This file is the interior-tile fast path of the analysis: a
+// Fourier–Motzkin-style shrink of the tile space by the template reach
+// classifies tiles whose entire dependence shell lies inside the
+// iteration space. For such tiles every cell of the full w_1 x ... x w_d
+// rectangle is in the space and every template dependence is valid at
+// every cell, so the runtime (and the generated programs) can skip the
+// per-cell validity checks and the bound-evaluating enumerator and run a
+// precompiled dense loop nest instead; edge packing likewise collapses
+// to strided copies of constant-size slabs.
+
+// DenseLevel is one loop of the precompiled interior-tile nest, in loop
+// order (outermost first).
+type DenseLevel struct {
+	Var    int   // variable index (Spec.Vars order)
+	Width  int64 // trip count: the full tile width w_k
+	Stride int64 // buffer stride of the variable
+	Dir    int   // iteration direction (ExecDirs[Var])
+}
+
+// scanLevel is one outer loop of a dense edge-slab scan: count trips,
+// each advancing the buffer location by step.
+type scanLevel struct {
+	count int64
+	step  int64
+}
+
+// denseScan precompiles the producer-local scan of one tile dependence's
+// edge slab for interior producers: the slab is a full rectangular box,
+// so the scan is an odometer over the outer levels with a contiguous
+// innermost run (the innermost loop variable has stride 1).
+type denseScan struct {
+	size  int64       // total slab cells (== InteriorEdgeSize entry)
+	start int64       // buffer index of the first slab cell
+	shift int64       // producer loc -> consumer unpack loc offset
+	run   int64       // innermost contiguous run length
+	outer []scanLevel // outer levels, outermost first
+}
+
+// buildFastPath constructs the interior classification, the dense cell
+// nest, the dense edge scans and the per-dimension tile bounds. Called
+// from New after the tile deps exist.
+func (tl *Tiling) buildFastPath() error {
+	tl.buildInteriorSys()
+	tl.buildDense()
+	tl.buildInteriorScans()
+	return tl.buildDimNests()
+}
+
+// buildInteriorSys shrinks the tile space by the dependence shell: tile
+// t is interior iff every iteration-space constraint a.x + b.p + c >= 0
+// holds over the whole shell box
+//
+//	x_k in [w_k t_k - GhostLo_k,  w_k t_k + w_k - 1 + GhostHi_k].
+//
+// The minimum of the affine form over that box is itself affine in t
+// (substitute x_k = w_k t_k and subtract the worst-case per-dimension
+// excursion), giving one tile-space inequality per constraint.
+func (tl *Tiling) buildInteriorSys() {
+	sp := tl.Spec
+	sys := lin.NewSystem(tl.tileSpace)
+	for _, q := range sp.System().Ineqs {
+		e := lin.Const(tl.tileSpace, q.K)
+		for _, pn := range sp.Params {
+			if c := q.Coeff(pn); c != 0 {
+				e = e.Add(lin.Term(tl.tileSpace, c, pn))
+			}
+		}
+		for k, vn := range sp.Vars {
+			a := q.Coeff(vn)
+			if a == 0 {
+				continue
+			}
+			e = e.Add(lin.Term(tl.tileSpace, ints.MulChecked(a, tl.Widths[k]), tName(vn)))
+			if a > 0 {
+				// Minimum at the low end of the shell.
+				e = e.AddConst(ints.MulChecked(-a, tl.GhostLo[k]))
+			} else {
+				// Minimum at the high end of the shell.
+				e = e.AddConst(ints.MulChecked(a, tl.Widths[k]-1+tl.GhostHi[k]))
+			}
+		}
+		sys.Add(lin.Ineq{Expr: e})
+	}
+	tl.InteriorSys = sys
+}
+
+// buildDense records the precompiled interior cell nest: full tile
+// widths with the memory strides and execution directions, in loop
+// order.
+func (tl *Tiling) buildDense() {
+	tl.Dense = make([]DenseLevel, len(tl.orderIdx))
+	for lvl, k := range tl.orderIdx {
+		tl.Dense[lvl] = DenseLevel{Var: k, Width: tl.Widths[k], Stride: tl.Strides[k], Dir: tl.ExecDirs[k]}
+	}
+}
+
+// buildInteriorScans precompiles each tile dependence's full-slab scan
+// and records the slab sizes. The slab ranges mirror buildPackNest:
+// offset +1 takes the producer's low band [0, GhostHi_k-1], offset -1
+// the high band [w_k-GhostLo_k, w_k-1], offset 0 the whole width — and
+// the scan order (loop order, ascending) matches PackNest.Enumerate
+// exactly, so dense and nest-packed edges are interchangeable whenever
+// the cell sets coincide.
+func (tl *Tiling) buildInteriorScans() {
+	d := len(tl.Spec.Vars)
+	tl.InteriorEdgeSize = make([]int64, len(tl.TileDeps))
+	tl.interiorScan = make([]denseScan, len(tl.TileDeps))
+	for j, dep := range tl.TileDeps {
+		sc := denseScan{start: tl.BaseOff, size: 1}
+		lo := make([]int64, d)
+		cnt := make([]int64, d)
+		for k := 0; k < d; k++ {
+			switch dep.Offset[k] {
+			case 1:
+				lo[k], cnt[k] = 0, tl.GhostHi[k]
+			case -1:
+				lo[k], cnt[k] = tl.Widths[k]-tl.GhostLo[k], tl.GhostLo[k]
+			default:
+				lo[k], cnt[k] = 0, tl.Widths[k]
+			}
+			sc.start += lo[k] * tl.Strides[k]
+			sc.shift += dep.Offset[k] * tl.Widths[k] * tl.Strides[k]
+			sc.size = ints.MulChecked(sc.size, cnt[k])
+		}
+		for _, k := range tl.orderIdx[:d-1] {
+			if cnt[k] != 1 {
+				sc.outer = append(sc.outer, scanLevel{count: cnt[k], step: tl.Strides[k]})
+			}
+		}
+		sc.run = cnt[tl.orderIdx[d-1]]
+		tl.interiorScan[j] = sc
+		tl.InteriorEdgeSize[j] = sc.size
+	}
+}
+
+// buildDimNests builds, per dimension, a one-variable nest over
+// (params | t_k) by eliminating every other tile index — the bounding
+// box of the tile space, used for collision-free integer tile keys.
+func (tl *Tiling) buildDimNests() error {
+	sp := tl.Spec
+	d := len(sp.Vars)
+	tl.dimNests = make([]*loopgen.Nest, d)
+	for k := 0; k < d; k++ {
+		var others []string
+		for i, v := range sp.Vars {
+			if i != k {
+				others = append(others, tName(v))
+			}
+		}
+		elim, err := fm.EliminateAll(tl.TileSys, others, fm.Options{})
+		if err != nil {
+			return fmt.Errorf("tiling: tile bounds for %s: %w", sp.Vars[k], err)
+		}
+		space1, err := lin.NewSpace(sp.Params, []string{tName(sp.Vars[k])})
+		if err != nil {
+			return err
+		}
+		sys1, err := elim.Project(space1)
+		if err != nil {
+			return fmt.Errorf("tiling: tile bounds projection for %s: %w", sp.Vars[k], err)
+		}
+		nest, err := loopgen.Build(sys1, []string{tName(sp.Vars[k])}, fm.Options{Prune: fm.PruneSimplex})
+		if err != nil {
+			return fmt.Errorf("tiling: tile bounds nest for %s: %w", sp.Vars[k], err)
+		}
+		tl.dimNests[k] = nest
+	}
+	return nil
+}
+
+// TileBounds returns the per-dimension bounding box [lo_k, hi_k] of the
+// tile space for the given parameters (lo_k > hi_k when the space is
+// empty in that dimension).
+func (tl *Tiling) TileBounds(params []int64) (lo, hi []int64) {
+	d := len(tl.Spec.Vars)
+	lo, hi = make([]int64, d), make([]int64, d)
+	vals := make([]int64, len(params)+1)
+	copy(vals, params)
+	for k := 0; k < d; k++ {
+		lo[k], hi[k] = tl.dimNests[k].Bounds(0, vals)
+	}
+	return lo, hi
+}
+
+// PackInterior copies an interior producer's slab cells for tile
+// dependence dep from the tile buffer into out (length
+// InteriorEdgeSize[dep]), in the shared pack/unpack order.
+func (tl *Tiling) PackInterior(dep int, buf, out []float64) {
+	sc := &tl.interiorScan[dep]
+	packRuns(sc.outer, sc.run, sc.start, buf, out, 0)
+}
+
+// UnpackInterior writes a full-slab edge into the consumer's ghost
+// shell. It is valid for any edge whose cell count equals
+// InteriorEdgeSize[dep]: a slab with the full count is necessarily the
+// full rectangular box, and both pack orders (dense and PackNest) scan
+// it identically.
+func (tl *Tiling) UnpackInterior(dep int, buf, data []float64) {
+	sc := &tl.interiorScan[dep]
+	unpackRuns(sc.outer, sc.run, sc.start+sc.shift, buf, data, 0)
+}
+
+func packRuns(outer []scanLevel, run, loc int64, buf, out []float64, idx int64) int64 {
+	if len(outer) == 0 {
+		copy(out[idx:idx+run], buf[loc:loc+run])
+		return idx + run
+	}
+	l := outer[0]
+	for c := int64(0); c < l.count; c++ {
+		idx = packRuns(outer[1:], run, loc, buf, out, idx)
+		loc += l.step
+	}
+	return idx
+}
+
+func unpackRuns(outer []scanLevel, run, loc int64, buf, data []float64, idx int64) int64 {
+	if len(outer) == 0 {
+		copy(buf[loc:loc+run], data[idx:idx+run])
+		return idx + run
+	}
+	l := outer[0]
+	for c := int64(0); c < l.count; c++ {
+		idx = unpackRuns(outer[1:], run, loc, buf, data, idx)
+		loc += l.step
+	}
+	return idx
+}
+
+// TileProbe is reusable allocation-free scratch for the per-tile
+// polytope queries of the runtime hot path (membership, dependence
+// count, interior classification). A probe is bound to one parameter
+// vector and must not be shared between goroutines.
+type TileProbe struct {
+	tl    *Tiling
+	vals  []int64 // (params | t) scratch, params prefilled
+	nb    []int64 // neighbour-tile scratch
+	np    int
+	ndeps int
+}
+
+// NewProbe creates a probe for the given parameters.
+func (tl *Tiling) NewProbe(params []int64) *TileProbe {
+	pr := &TileProbe{
+		tl:    tl,
+		vals:  make([]int64, tl.tileSpace.N()),
+		nb:    make([]int64, len(tl.Spec.Vars)),
+		np:    len(params),
+		ndeps: len(tl.TileDeps),
+	}
+	copy(pr.vals, params)
+	return pr
+}
+
+// InSpace reports whether tile t exists, without allocating.
+func (pr *TileProbe) InSpace(t []int64) bool {
+	copy(pr.vals[pr.np:], t)
+	return pr.tl.TileSys.Contains(pr.vals)
+}
+
+// Interior reports whether tile t's full dependence shell lies inside
+// the iteration space.
+func (pr *TileProbe) Interior(t []int64) bool {
+	copy(pr.vals[pr.np:], t)
+	return pr.tl.InteriorSys.Contains(pr.vals)
+}
+
+// DepCount counts the tile dependencies of t that exist in the tile
+// space, without allocating.
+func (pr *TileProbe) DepCount(t []int64) int {
+	n := 0
+	for j := 0; j < pr.ndeps; j++ {
+		off := pr.tl.TileDeps[j].Offset
+		for k := range t {
+			pr.nb[k] = t[k] + off[k]
+		}
+		copy(pr.vals[pr.np:], pr.nb)
+		if pr.tl.TileSys.Contains(pr.vals) {
+			n++
+		}
+	}
+	return n
+}

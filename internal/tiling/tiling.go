@@ -67,6 +67,18 @@ type Tiling struct {
 	// (Section IV-F), in a deterministic order.
 	TileDeps []TileDep
 
+	// InteriorSys is the tile space shrunk by the dependence shell: a
+	// tile satisfying it has every cell of its full rectangle inside the
+	// iteration space and every template dependence valid at every cell,
+	// so the runtime may use the dense fast path (see fastpath.go).
+	InteriorSys *lin.System
+	// Dense is the precompiled interior-tile cell nest, in loop order.
+	Dense []DenseLevel
+	// InteriorEdgeSize[j] is the cell count of tile dependence j's full
+	// edge slab — the exact edge size for interior producers and an
+	// upper bound for boundary producers.
+	InteriorEdgeSize []int64
+
 	// ExecDirs gives the cell iteration direction per variable: -1 when
 	// templates are positive in that dimension (loops run from the upper
 	// bound down, Fig 3), +1 otherwise. Indexed like Spec.Vars.
@@ -81,6 +93,8 @@ type Tiling struct {
 	slabMemo      map[string]int64 // memoized slab work per (params, lb)
 	bandNests     []*loopgen.Nest  // boundary band scans for InitialTilesFast
 	slabTilesNest *loopgen.Nest    // per-slab tile counter
+	interiorScan  []denseScan      // dense edge-slab scans per tile dep
+	dimNests      []*loopgen.Nest  // per-dimension tile bounds (integer keys)
 }
 
 // tName and iName build the internal tile/local index names. The "$"
@@ -147,6 +161,9 @@ func New(sp *spec.Spec) (*Tiling, error) {
 	}
 	tl.buildValidity()
 	if err := tl.buildTileDeps(); err != nil {
+		return nil, err
+	}
+	if err := tl.buildFastPath(); err != nil {
 		return nil, err
 	}
 	// The boundary band nests for initial tile generation (Section IV-K)
