@@ -1,5 +1,5 @@
-// Command dprun executes a built-in problem on the in-process hybrid
-// runtime and reports the goal value, timing and per-node statistics.
+// Command dprun executes a built-in problem on the hybrid runtime and
+// reports the goal value, timing and per-node statistics.
 //
 // Usage:
 //
@@ -8,16 +8,30 @@
 //
 // -check additionally solves the problem with the straightforward
 // serial reference and verifies the values are bit-identical.
+//
+// Distributed mode runs each rank as a separate OS process connected
+// over TCP (see docs/TRANSPORT.md). Either start every rank yourself:
+//
+//	dprun -problem bandit2 -distributed -rank 0 -peers host0:7000,host1:7000
+//	dprun -problem bandit2 -distributed -rank 1 -peers host0:7000,host1:7000
+//
+// or let dprun fork a local worker process per rank:
+//
+//	dprun -problem bandit2 -distributed -launch 2 -threads 2 -check
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dpgen"
@@ -28,7 +42,11 @@ func main() {
 	var (
 		name     = flag.String("problem", "bandit2", "built-in problem: "+strings.Join(problems.Names(), ", "))
 		paramStr = flag.String("params", "", "comma-separated parameter values (default: problem defaults)")
-		nodes    = flag.Int("nodes", 1, "simulated MPI ranks")
+		nodes    = flag.Int("nodes", 1, "simulated MPI ranks (ignored with -distributed)")
+		distrib  = flag.Bool("distributed", false, "run as one rank of a multi-process TCP job (with -rank/-peers), or fork a local job (with -launch)")
+		rank     = flag.Int("rank", -1, "this process's rank in the -peers list (with -distributed)")
+		peersStr = flag.String("peers", "", "comma-separated host:port listen addresses, one per rank, in rank order (with -distributed)")
+		launch   = flag.Int("launch", 0, "fork this many local worker processes instead of joining a mesh (with -distributed)")
 		threads  = flag.Int("threads", 1, "worker threads per node")
 		sendBufs = flag.Int("sendbufs", 4, "send buffers per node")
 		recvBufs = flag.Int("recvbufs", 16, "receive buffers per node")
@@ -44,6 +62,13 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *launch > 0 {
+		if !*distrib {
+			fatal(fmt.Errorf("-launch requires -distributed"))
+		}
+		os.Exit(launchLocal(*launch))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -80,6 +105,20 @@ func main() {
 		QueueGroups: *groups,
 		PollingRecv: *polling,
 	}
+	if *distrib {
+		peers := strings.Split(*peersStr, ",")
+		if *peersStr == "" || *rank < 0 || *rank >= len(peers) {
+			fatal(fmt.Errorf("-distributed needs -rank in [0,%d) and a -peers address per rank (or -launch N)", len(peers)))
+		}
+		tr, err := dpgen.DialTCP(*rank, peers, dpgen.TCPOptions{
+			SendBufs: *sendBufs,
+			RecvBufs: *recvBufs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Transport = tr
+	}
 	switch *priority {
 	case "column":
 		cfg.Priority = dpgen.ColumnMajor
@@ -113,6 +152,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("problem   %s\n", p.Spec.Name)
+	if *distrib {
+		fmt.Printf("rank      %d of %d (distributed over TCP)\n", *rank, len(res.Stats))
+	}
 	fmt.Printf("params    %v\n", params)
 	fmt.Printf("value     %.17g\n", res.Value)
 	fmt.Printf("max       %.17g\n", res.Max)
@@ -121,6 +163,9 @@ func main() {
 	fmt.Printf("messages  %d (%d elements)\n", res.Messages, res.Elems)
 	if *stats {
 		for i, st := range res.Stats {
+			if *distrib && i != *rank {
+				continue // remote ranks report their own stats
+			}
 			fmt.Printf("node %d: tiles %d cells %d sent %d recv %d local %d peak_edges %d peak_elems %d idle %s send_stall %s\n",
 				i, st.TilesExecuted, st.CellsComputed, st.EdgesSentRemote, st.EdgesRecvRemote,
 				st.EdgesLocal, st.PeakPendingEdges, st.PeakBufferedElems, st.IdleTime, st.SendStallTime)
@@ -178,6 +223,85 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// launchLocal is the convenience forker behind -launch N: it picks N
+// loopback ports, re-executes this binary once per rank with
+// -distributed -rank r -peers ..., forwarding the other explicitly-set
+// flags (except per-process outputs like -trace and the profiles,
+// whose filenames would collide), prefixes each child's output with
+// its rank, and returns a process exit code.
+func launchLocal(n int) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	peers := make([]string, n)
+	for r := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		peers[r] = ln.Addr().String()
+		// Freed here and re-bound by the child; the dial retry in the
+		// transport rides out the window.
+		ln.Close()
+	}
+	var common []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "launch", "distributed", "rank", "peers", "nodes",
+			"trace", "metrics", "cpuprofile", "memprofile":
+			return
+		}
+		common = append(common, "-"+f.Name+"="+f.Value.String())
+	})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes output lines across children
+	failed := false
+	for r := 0; r < n; r++ {
+		args := append([]string{
+			"-distributed",
+			"-rank", strconv.Itoa(r),
+			"-peers", strings.Join(peers, ","),
+		}, common...)
+		cmd := exec.Command(exe, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cmd.Stderr = cmd.Stdout // one prefixed stream per child
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sc := bufio.NewScanner(stdout)
+			sc.Buffer(make([]byte, 64*1024), 1024*1024)
+			for sc.Scan() {
+				mu.Lock()
+				fmt.Printf("[rank %d] %s\n", r, sc.Text())
+				mu.Unlock()
+			}
+			if err := cmd.Wait(); err != nil {
+				mu.Lock()
+				fmt.Fprintf(os.Stderr, "[rank %d] exited: %v\n", r, err)
+				failed = true
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,154 @@
+package dpgen
+
+import (
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/mpi/tcp"
+	"dpgen/internal/problems"
+	"dpgen/internal/tiling"
+)
+
+// runDistributedTCP executes one problem as nranks engine.Run calls,
+// each holding its own TCP transport endpoint over loopback — the
+// in-process analog of nranks separate OS processes (the process-level
+// version is TestDprunDistributedSmoke). Every rank's Result is
+// returned.
+func runDistributedTCP(t *testing.T, p *problems.Problem, params []int64, nranks, threads int) []*engine.Result {
+	t.Helper()
+	lns := make([]net.Listener, nranks)
+	peers := make([]string, nranks)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	results := make([]*engine.Result, nranks)
+	errs := make([]error, nranks)
+	var wg sync.WaitGroup
+	for r := 0; r < nranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Each rank recomputes the analysis itself, as separate
+			// processes would.
+			tl, err := tiling.New(p.Spec)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			tr, err := tcp.Dial(r, peers, tcp.Options{
+				DialTimeout: 15 * time.Second,
+				Listener:    lns[r],
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = engine.Run(tl, p.Kernel, params, engine.Config{
+				Transport: tr,
+				Threads:   threads,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+// TestDistributedTCPEquivalence is the sibling of
+// TestFastPathEquivalence for the TCP transport: a two-rank run over
+// real localhost sockets must produce bit-identical Value and Max to
+// the in-memory transport with the same node count, on every rank, and
+// match the serial reference exactly.
+func TestDistributedTCPEquivalence(t *testing.T) {
+	for _, name := range []string{"bandit2", "lcs2"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := problems.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := p.DefaultParams
+			serial := p.Serial(params)
+
+			tl, err := tiling.New(p.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const nranks, threads = 2, 2
+			ref, err := engine.Run(tl, p.Kernel, params, engine.Config{Nodes: nranks, Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			results := runDistributedTCP(t, p, params, nranks, threads)
+			for r, res := range results {
+				if res.Value != ref.Value {
+					t.Errorf("rank %d: Value tcp %.17g != inmem %.17g", r, res.Value, ref.Value)
+				}
+				if res.Max != ref.Max && !(math.IsNaN(res.Max) && math.IsNaN(ref.Max)) {
+					t.Errorf("rank %d: Max tcp %.17g != inmem %.17g", r, res.Max, ref.Max)
+				}
+				if res.Messages != ref.Messages || res.Elems != ref.Elems {
+					t.Errorf("rank %d: traffic tcp %d msgs/%d elems != inmem %d/%d",
+						r, res.Messages, res.Elems, ref.Messages, ref.Elems)
+				}
+			}
+			got := results[0].Value
+			if p.UseMax {
+				got = results[0].Max
+			}
+			if got != serial {
+				t.Errorf("distributed %.17g != serial reference %.17g", got, serial)
+			}
+		})
+	}
+}
+
+// TestDprunDistributedSmoke builds cmd/dprun and runs a real
+// two-OS-process distributed bandit2 job through the -launch
+// convenience forker, checking both processes agree with the serial
+// reference.
+func TestDprunDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "dprun")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dprun")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/dprun: %v\n%s", err, out)
+	}
+	p, err := problems.Get("bandit2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := p.Serial(p.DefaultParams)
+
+	cmd := exec.Command(bin, "-problem", "bandit2", "-distributed", "-launch", "2", "-threads", "2", "-check")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dprun -distributed -launch 2: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "OK (bit-identical)") {
+		t.Errorf("output lacks serial-reference check (serial value %.17g):\n%s", serial, text)
+	}
+}

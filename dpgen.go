@@ -36,6 +36,8 @@ import (
 	"dpgen/internal/balance"
 	"dpgen/internal/codegen"
 	"dpgen/internal/engine"
+	"dpgen/internal/mpi"
+	"dpgen/internal/mpi/tcp"
 	"dpgen/internal/obs"
 	"dpgen/internal/problems"
 	"dpgen/internal/simsched"
@@ -90,6 +92,18 @@ const (
 
 // Problem bundles a Spec with a Kernel and a serial reference solver.
 type Problem = problems.Problem
+
+// Transport is the inter-node message layer behind a run: the seam
+// between the hybrid runtime and the network. Set Config.Transport to
+// run this process as one rank of a distributed job; leave it nil to
+// simulate Config.Nodes ranks in-process. See docs/TRANSPORT.md for
+// the contract.
+type Transport = mpi.Transport
+
+// TCPOptions configures a DialTCP endpoint: buffer counts, dial
+// retry/backoff and timeouts. The zero value selects sensible
+// defaults.
+type TCPOptions = tcp.Options
 
 // GenOptions configures program generation.
 type GenOptions = codegen.Options
@@ -151,6 +165,15 @@ func RunAnalyzed(tl *Analysis, kernel Kernel, params []int64, cfg Config) (*Resu
 // RunProblem executes a built-in problem.
 func RunProblem(p *Problem, params []int64, cfg Config) (*Result, error) {
 	return Run(p.Spec, p.Kernel, params, cfg)
+}
+
+// DialTCP establishes this process's endpoint of a multi-process TCP
+// mesh: peers[r] is rank r's listen address and rank is this process's
+// index into it. It blocks until the full mesh is connected (peers may
+// start in any order within the dial timeout). Pass the result as
+// Config.Transport; the run takes ownership and closes it.
+func DialTCP(rank int, peers []string, opts TCPOptions) (Transport, error) {
+	return tcp.Dial(rank, peers, opts)
 }
 
 // Generate emits a standalone hybrid Go program for the spec. The spec

@@ -1,0 +1,149 @@
+// Distributed: solve the 2-arm bandit (specs/bandit2.dps as a builtin)
+// with each MPI rank in its own OS process, exchanging tile edges over
+// TCP — the deployed form of the paper's hybrid model, where
+// examples/quickstart simulates the ranks in one process.
+//
+// Run with no flags and the program forks itself into two rank
+// processes on loopback, waits for both, and verifies that rank 0's
+// answer is bit-identical to the serial Figure 1 recursion:
+//
+//	go run ./examples/distributed [-N 30] [-threads 2]
+//
+// The internal -rank/-peers flags are how the parent tells each child
+// which endpoint of the mesh it is; you could equally start the two
+// rank processes by hand (on different machines) the way
+// cmd/dprun -distributed does.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dpgen"
+)
+
+const nranks = 2
+
+func main() {
+	var (
+		N       = flag.Int64("N", 30, "number of trials")
+		threads = flag.Int("threads", 2, "worker threads per rank")
+		rank    = flag.Int("rank", -1, "internal: this child's rank")
+		peers   = flag.String("peers", "", "internal: comma-joined rank listen addresses")
+	)
+	flag.Parse()
+
+	if *rank >= 0 {
+		child(*rank, strings.Split(*peers, ","), *N, *threads)
+		return
+	}
+	parent(*N, *threads)
+}
+
+// parent reserves one loopback port per rank, then re-executes this
+// binary once per rank with -rank/-peers set and relays their output.
+func parent(N int64, threads int) {
+	addrs := make([]string, nranks)
+	for r := range addrs {
+		// Bind :0 to have the kernel pick a free port, then release it
+		// for the child to re-bind. The window between close and
+		// re-listen is covered by the transport's dial retry.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[r] = l.Addr().String()
+		l.Close()
+	}
+	peers := strings.Join(addrs, ",")
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("forking %d rank processes (peers %s)\n", nranks, peers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes relayed output lines
+	failed := false
+	for r := 0; r < nranks; r++ {
+		cmd := exec.Command(self,
+			"-rank", strconv.Itoa(r), "-peers", peers,
+			"-N", strconv.FormatInt(N, 10), "-threads", strconv.Itoa(threads))
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sc := bufio.NewScanner(out)
+			for sc.Scan() {
+				mu.Lock()
+				fmt.Printf("[rank %d] %s\n", r, sc.Text())
+				mu.Unlock()
+			}
+			if err := cmd.Wait(); err != nil {
+				mu.Lock()
+				fmt.Printf("[rank %d] exited: %v\n", r, err)
+				failed = true
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// child runs one rank of the job: dial the mesh, run the engine with
+// the TCP transport, report. Every rank recomputes tiling, balance and
+// ownership deterministically from the same spec and parameters, so
+// the processes only exchange tile edges and the final result merge.
+func child(rank int, peers []string, N int64, threads int) {
+	problem, err := dpgen.Builtin("bandit2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr, err := dpgen.DialTCP(rank, peers, dpgen.TCPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh up: rank %d of %d\n", tr.ID(), tr.Size())
+
+	// The run takes ownership of the transport and closes it. Nodes is
+	// taken from the transport; every rank passes the same Config.
+	res, err := dpgen.RunProblem(problem, []int64{N}, dpgen.Config{
+		Transport: tr,
+		Threads:   threads,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("V(0) = %.12f (%d edges exchanged job-wide, %s)\n",
+		res.Value, res.Messages, res.TotalTime)
+
+	// The merged result is identical on every rank; let rank 0 do the
+	// serial cross-check.
+	if rank == 0 {
+		want := problem.Serial([]int64{N})
+		if res.Value != want {
+			log.Fatalf("MISMATCH: serial solver says %.12f", want)
+		}
+		fmt.Println("bit-identical to the serial recursion across processes")
+	}
+}

@@ -52,6 +52,11 @@ func main() {
 	fixed := fixedArmValue(*N)
 	fmt.Printf("fixed single-arm design achieves %.12f — adaptive gain %.2f%%\n",
 		fixed, 100*(res.Value-fixed)/fixed)
+
+	// The nodes above are simulated in this process. To run the same
+	// problem with each rank in its own OS process over TCP, see
+	// examples/distributed (or: dprun -problem bandit2 -distributed
+	// -launch 2 -check).
 }
 
 // fixedArmValue computes the expected successes when always pulling one

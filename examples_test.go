@@ -18,6 +18,7 @@ func TestExamplesRun(t *testing.T) {
 		want string // substring that must appear on stdout
 	}{
 		{"quickstart", []string{"-N", "12", "-nodes", "2", "-threads", "2"}, "matches the serial"},
+		{"distributed", []string{"-N", "12", "-threads", "2"}, "bit-identical to the serial recursion"},
 		{"bandit3", []string{"-N", "6", "-nodes", "2", "-threads", "2"}, "third arm adds"},
 		{"msa", []string{"-len", "12", "-nodes", "2", "-threads", "2"}, "MSA >= bound: true"},
 		{"lcs", []string{"-len", "16", "-nodes", "2", "-threads", "2"}, "verified: the recovered string"},

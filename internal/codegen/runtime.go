@@ -5,6 +5,11 @@ package codegen
 // dp* symbols. It deliberately avoids backquoted strings so it can live
 // in this raw literal.
 const runtimeSrc = `// ---- hybrid runtime (generated, problem independent) ----
+//
+// Inter-node edges travel over bounded channels with send-buffer
+// slots, the in-memory form of the transport contract specified in
+// docs/TRANSPORT.md of the generator repository; the same backpressure
+// semantics apply to its framed-TCP implementation.
 
 var (
 	flagNodes    = flag.Int("nodes", 1, "simulated MPI ranks")
@@ -197,7 +202,7 @@ type dpNode struct {
 	slots chan struct{}
 
 	tiles, cells, sentRemote, recvRemote, localEdges int64
-	peakEdges, liveEdges                             int64
+	sentElems, peakEdges, liveEdges                  int64
 }
 
 type dpGlobal struct {
@@ -289,7 +294,7 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 	g.goalMu.Unlock()
 
 	// Pack and ship the outgoing edges.
-	var localDelivered, sent int64
+	var localDelivered, sent, sentElems int64
 	for j := 0; j < dpNumTileDeps; j++ {
 		var consumer [dpDims]int64
 		for k := 0; k < dpDims; k++ {
@@ -307,6 +312,7 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 			n.slots <- struct{}{}
 			g.nodes[dst].inbox <- dpMsg{dep: j, consumer: consumer, data: data, slot: n.slots}
 			sent++
+			sentElems += int64(len(data))
 		}
 	}
 
@@ -316,6 +322,7 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 	n.cells += cells
 	n.localEdges += localDelivered
 	n.sentRemote += sent
+	n.sentElems += sentElems
 	n.executed++
 	finished := n.executed == n.owned
 	n.mu.Unlock()
@@ -405,8 +412,8 @@ func main() {
 	fmt.Printf("total_seconds %.6f\n", elapsed)
 	if *flagStats {
 		for _, n := range g.nodes {
-			fmt.Printf("node %d tiles %d cells %d sent %d recv %d local %d peak_edges %d\n",
-				n.id, n.tiles, n.cells, n.sentRemote, n.recvRemote, n.localEdges, n.peakEdges)
+			fmt.Printf("node %d tiles %d cells %d sent %d sent_elems %d recv %d local %d peak_edges %d\n",
+				n.id, n.tiles, n.cells, n.sentRemote, n.sentElems, n.recvRemote, n.localEdges, n.peakEdges)
 		}
 	}
 }

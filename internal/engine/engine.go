@@ -44,10 +44,21 @@ import (
 
 // Config controls a run. Zero values select the defaults noted.
 type Config struct {
-	Nodes    int // simulated MPI ranks (default 1)
+	Nodes    int // simulated MPI ranks (default 1); ignored when Transport is set
 	Threads  int // workers per node, the OpenMP analog (default 1)
 	SendBufs int // send buffers per rank (default 4)
 	RecvBufs int // receive buffers per rank (default 16)
+	// Transport, if set, switches Run to distributed single-rank mode:
+	// this process executes only rank Transport.ID() of a
+	// Transport.Size()-rank job, and inter-node edges travel over the
+	// given transport (e.g. dpgen/internal/mpi/tcp) instead of an
+	// internally created in-memory communicator. Nodes is taken from
+	// Transport.Size(); SendBufs/RecvBufs are configured on the
+	// transport itself at construction. Every rank must run the same
+	// problem with the same configuration — tiling, balance and
+	// ownership are recomputed identically on each process. Run takes
+	// ownership of the transport and closes it. See docs/TRANSPORT.md.
+	Transport mpi.Transport
 	// PollingRecv replaces each node's receiver goroutine with the
 	// paper's polling progress model (Section V-A step 6): workers probe
 	// the MPI inbox between tiles and while blocked in sends. The
@@ -177,9 +188,16 @@ type engine struct {
 }
 
 // Run executes the problem described by tl with the given kernel and
-// parameter values.
+// parameter values. With cfg.Transport set it runs as one rank of a
+// distributed job (see Config.Transport); otherwise it simulates all
+// cfg.Nodes ranks in-process.
 func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	tr := cfg.Transport
+	distributed := tr != nil
+	if distributed {
+		cfg.Nodes = tr.Size()
+	}
 	if kernel == nil {
 		return nil, fmt.Errorf("engine: nil kernel")
 	}
@@ -198,9 +216,12 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		return nil, err
 	}
 	balanceTime := time.Since(start)
-	comm, err := mpi.NewComm(cfg.Nodes, cfg.SendBufs, cfg.RecvBufs)
-	if err != nil {
-		return nil, err
+	var comm *mpi.Comm
+	if !distributed {
+		comm, err = mpi.NewComm(cfg.Nodes, cfg.SendBufs, cfg.RecvBufs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	e := &engine{
 		tl:     tl,
@@ -219,20 +240,34 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	// Serial initialization (Section IV-K): owned-tile totals come from
 	// the balancer's per-slab tile counts, and the initial tiles from the
 	// boundary band scan, so startup touches only O(n^{d-1}) tiles. The
-	// exhaustive scan remains as a fallback.
+	// exhaustive scan remains as a fallback. In distributed mode only the
+	// local rank's node exists; nodeByRank is nil at remote ranks and
+	// their tiles are skipped (every process seeds its own).
 	initStart := time.Now()
-	nodes := make([]*node, cfg.Nodes)
-	for i := range nodes {
-		nodes[i] = newNode(e, i)
-		nodes[i].ownedTotal = assign.Tiles[i]
+	nodeByRank := make([]*node, cfg.Nodes)
+	var nodes []*node
+	if distributed {
+		n := newNode(e, tr.ID(), tr)
+		n.ownedTotal = assign.Tiles[tr.ID()]
+		nodeByRank[tr.ID()] = n
+		nodes = []*node{n}
+	} else {
+		nodes = make([]*node, cfg.Nodes)
+		for i := range nodes {
+			nodes[i] = newNode(e, i, comm.Rank(i))
+			nodes[i].ownedTotal = assign.Tiles[i]
+			nodeByRank[i] = nodes[i]
+		}
 	}
 	initial, _, err := tl.InitialTilesFast(params)
 	if err != nil {
-		for i := range nodes {
-			nodes[i].ownedTotal = 0
+		for _, n := range nodes {
+			n.ownedTotal = 0
 		}
 		tl.ForEachTile(params, func(t []int64) bool {
-			nodes[assign.Owner(t)].ownedTotal++
+			if n := nodeByRank[assign.Owner(t)]; n != nil {
+				n.ownedTotal++
+			}
 			return true
 		})
 		initial, _ = tl.InitialTiles(params)
@@ -241,7 +276,10 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		return nil, fmt.Errorf("engine: no initial tiles — the dependence graph is cyclic or the space is empty")
 	}
 	for _, t := range initial {
-		n := nodes[assign.Owner(t)]
+		n := nodeByRank[assign.Owner(t)]
+		if n == nil {
+			continue
+		}
 		p := &pendTile{
 			tile: append([]int64(nil), t...),
 			key:  make([]int64, len(e.keyDims)),
@@ -297,9 +335,21 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	// Coordinator: once every node has executed all its owned tiles,
 	// no further messages can be in flight (a consumer finishes only
 	// after receiving every edge it needs), so the communicator can be
-	// closed and the workers woken for exit.
-	e.finished.Wait()
-	comm.Close()
+	// closed and the workers woken for exit. In distributed mode the
+	// local rank instead joins the collective result merge before
+	// closing its transport endpoint; a failed transport (peer death)
+	// aborts the run with an error rather than hanging.
+	var merged *mergedResult
+	var runErr error
+	if distributed {
+		if runErr = e.awaitLocal(tr); runErr == nil {
+			merged, runErr = e.mergeDistributed(tr)
+		}
+		tr.Close()
+	} else {
+		e.finished.Wait()
+		comm.Close()
+	}
 	for _, n := range nodes {
 		n.mu.Lock()
 		n.done = true
@@ -310,6 +360,9 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	}
 	workers.Wait()
 	receivers.Wait()
+	if runErr != nil {
+		return nil, fmt.Errorf("engine: distributed run failed: %w", runErr)
+	}
 
 	res := &Result{
 		Stats:       make([]NodeStats, cfg.Nodes),
@@ -318,13 +371,21 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		TotalTime:   time.Since(start),
 		Work:        assign.Work,
 	}
-	res.Messages, res.Elems = comm.Stats()
-	for i, n := range nodes {
+	for _, n := range nodes {
 		n.st.Steals = n.steals
 		n.st.PeakPendingEdges = n.peakPendingEdges.Load()
 		n.st.PeakBufferedElems = n.peakBufferedElems.Load()
-		res.Stats[i] = n.st
+		res.Stats[n.id] = n.st
 	}
+	if distributed {
+		// Globally merged values; Stats carries only the local rank's
+		// entry (the others stay zero — they live in other processes).
+		res.Value = merged.goal
+		res.Max = merged.max
+		res.Messages, res.Elems = merged.messages, merged.elems
+		return res, nil
+	}
+	res.Messages, res.Elems = comm.Stats()
 	e.goalMu.Lock()
 	if !e.goalSet {
 		e.goalMu.Unlock()
@@ -390,11 +451,13 @@ func (e *engine) intKey(t []int64) uint64 {
 	return k
 }
 
-// node is one simulated shared-memory node.
+// node is one simulated shared-memory node. Its rank endpoint is an
+// mpi.Transport: an in-process *mpi.Rank in simulated runs, or (in
+// distributed mode) the process's single external transport endpoint.
 type node struct {
 	eng  *engine
 	id   int
-	rank *mpi.Rank
+	rank mpi.Transport
 
 	mu      sync.Mutex
 	conds   []*sync.Cond // one per queue group, sharing mu
@@ -418,12 +481,12 @@ type node struct {
 	st NodeStats
 }
 
-func newNode(e *engine, id int) *node {
+func newNode(e *engine, id int, rank mpi.Transport) *node {
 	g := e.cfg.QueueGroups
 	n := &node{
 		eng:     e,
 		id:      id,
-		rank:    e.comm.Rank(id),
+		rank:    rank,
 		pending: make(map[uint64]*pendTile),
 		ready:   make([]tileHeap, g),
 		conds:   make([]*sync.Cond, g),

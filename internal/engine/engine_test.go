@@ -670,5 +670,5 @@ func newNode2ForTest(e *engine) *node {
 		panic(err)
 	}
 	e.comm = c
-	return newNode(e, 0)
+	return newNode(e, 0, c.Rank(0))
 }

@@ -21,6 +21,7 @@ const (
 	FIFO
 )
 
+// String names the policy for logs and flag output.
 func (p Priority) String() string {
 	switch p {
 	case ColumnMajor:

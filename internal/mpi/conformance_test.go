@@ -1,0 +1,512 @@
+// Transport conformance suite: one table of scenarios exercised
+// against every Transport implementation — the in-process channel
+// transport (*mpi.Rank) and the multi-process TCP transport
+// (tcp.Transport, here with each rank as a goroutine over real
+// localhost sockets). A new transport passes by adding a mesh
+// constructor to transportImpls.
+package mpi_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpgen/internal/mpi"
+	"dpgen/internal/mpi/tcp"
+)
+
+// mesh builds one fully connected set of transports; the cleanup of
+// each endpoint is registered with t.
+type meshFunc func(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport
+
+func inmemMesh(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
+	t.Helper()
+	c, err := mpi.NewComm(size, sendBufs, recvBufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]mpi.Transport, size)
+	for r := 0; r < size; r++ {
+		ts[r] = c.Rank(r)
+	}
+	return ts
+}
+
+func tcpMesh(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
+	t.Helper()
+	lns := make([]net.Listener, size)
+	peers := make([]string, size)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	ts := make([]mpi.Transport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ts[r], errs[r] = tcp.Dial(r, peers, tcp.Options{
+				SendBufs:    sendBufs,
+				RecvBufs:    recvBufs,
+				DialTimeout: 10 * time.Second,
+				Listener:    lns[r],
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		var cwg sync.WaitGroup
+		for _, tr := range ts {
+			if tr == nil {
+				continue
+			}
+			cwg.Add(1)
+			go func(tr mpi.Transport) { defer cwg.Done(); tr.Close() }(tr)
+		}
+		cwg.Wait()
+	})
+	return ts
+}
+
+var transportImpls = []struct {
+	name string
+	mesh meshFunc
+}{
+	{"inmem", inmemMesh},
+	{"tcp", tcpMesh},
+}
+
+func forEachTransport(t *testing.T, f func(t *testing.T, mesh meshFunc)) {
+	for _, impl := range transportImpls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			t.Parallel()
+			f(t, impl.mesh)
+		})
+	}
+}
+
+func TestConformancePingPong(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 2, 2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			m, ok := ts[1].Recv()
+			if !ok {
+				t.Error("recv failed")
+				return
+			}
+			if m.Src != 0 || m.Tag != 7 || len(m.Data) != 3 || m.Data[1] != 2.5 ||
+				len(m.Meta) != 2 || m.Meta[0] != 42 || m.Meta[1] != -9 {
+				t.Errorf("message corrupted: %+v", m)
+			}
+			m.Release()
+			ts[1].Send(0, 8, []float64{9}, nil)
+		}()
+		ts[0].Send(1, 7, []float64{1, 2.5, 3}, []int64{42, -9})
+		m, ok := ts[0].Recv()
+		if !ok || m.Src != 1 || m.Tag != 8 || m.Data[0] != 9 {
+			t.Errorf("reply wrong: %+v ok=%v", m, ok)
+		}
+		m.Release()
+		<-done
+	})
+}
+
+func TestConformanceAccessors(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 3, 1, 1)
+		for r, tr := range ts {
+			if tr.ID() != r || tr.Size() != 3 {
+				t.Errorf("rank %d: ID=%d Size=%d", r, tr.ID(), tr.Size())
+			}
+			if err := tr.Err(); err != nil {
+				t.Errorf("rank %d: fresh transport Err = %v", r, err)
+			}
+		}
+	})
+}
+
+func TestConformanceIprobe(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 1, 4)
+		if _, ok := ts[1].Iprobe(); ok {
+			t.Error("Iprobe on empty inbox returned a message")
+		}
+		ts[0].Send(1, 1, []float64{1}, nil)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			m, ok := ts[1].Iprobe()
+			if ok {
+				if m.Data[0] != 1 {
+					t.Errorf("Iprobe message wrong: %+v", m)
+				}
+				m.Release()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("Iprobe never saw the message")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestConformanceSendBufferBackpressure: with one send-buffer slot, a
+// second send must block until the receiver releases the first
+// message, and the stall must be reported.
+func TestConformanceSendBufferBackpressure(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 1, 8)
+		if stall := ts[0].Send(1, 1, []float64{1}, nil); stall != 0 {
+			t.Errorf("uncontended send stalled %v", stall)
+		}
+		sent2 := make(chan time.Duration, 1)
+		go func() {
+			sent2 <- ts[0].Send(1, 2, []float64{2}, nil)
+		}()
+		select {
+		case <-sent2:
+			t.Fatal("second send did not block with 1 send buffer")
+		case <-time.After(50 * time.Millisecond):
+		}
+		m, ok := ts[1].Recv()
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		m.Release()
+		select {
+		case stall := <-sent2:
+			if stall < 25*time.Millisecond {
+				t.Errorf("blocked send reported stall %v", stall)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("second send still blocked after release")
+		}
+		m2, _ := ts[1].Recv()
+		m2.Release()
+	})
+}
+
+// TestConformanceSendPolling: the polling variant must invoke poll()
+// while blocked instead of deadlocking.
+func TestConformanceSendPolling(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 1, 8)
+		ts[0].Send(1, 1, []float64{1}, nil)
+		var polls sync.WaitGroup
+		polls.Add(1)
+		polled := false
+		done := make(chan time.Duration, 1)
+		go func() {
+			done <- ts[0].SendPolling(1, 2, []float64{2}, nil, func() {
+				if !polled {
+					polled = true
+					polls.Done()
+				}
+				time.Sleep(time.Millisecond)
+			})
+		}()
+		polls.Wait() // the blocked send is polling
+		m, _ := ts[1].Recv()
+		m.Release()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("polling send never completed")
+		}
+		m2, _ := ts[1].Recv()
+		m2.Release()
+	})
+}
+
+// TestConformanceReleaseIdempotent: double Release must free the
+// send-buffer slot exactly once.
+func TestConformanceReleaseIdempotent(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 1, 2)
+		for round := 0; round < 3; round++ {
+			ts[0].Send(1, round, []float64{1}, nil)
+			m, ok := ts[1].Recv()
+			if !ok {
+				t.Fatal("recv failed")
+			}
+			m.Release()
+			m.Release()
+			m.ReleaseSlot()
+		}
+	})
+}
+
+// TestConformanceBufferRecycling: a receiver that keeps the payload
+// alive uses ReleaseSlot and recycles via the pools itself — the
+// engine's receive path.
+func TestConformanceBufferRecycling(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 2, 2)
+		data := mpi.GetData(4)
+		meta := mpi.GetMeta(2)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		meta[0], meta[1] = 3, 4
+		ts[0].Send(1, 1, data, meta)
+		m, ok := ts[1].Recv()
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		if len(m.Data) != 4 || m.Data[3] != 3 || len(m.Meta) != 2 || m.Meta[1] != 4 {
+			t.Errorf("payload corrupted: %+v", m)
+		}
+		d := m.Data
+		m.ReleaseSlot() // keep payload alive past the slot release
+		if d[3] != 3 {
+			t.Error("payload mutated by ReleaseSlot")
+		}
+		mpi.PutData(d)
+		mpi.PutMeta(m.Meta)
+	})
+}
+
+func TestConformanceBarrier(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		const n = 4
+		ts := mesh(t, n, 1, 1)
+		var phase [n]int
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for p := 0; p < 3; p++ {
+					phase[r] = p
+					if err := ts[r].Barrier(); err != nil {
+						t.Errorf("rank %d barrier: %v", r, err)
+						return
+					}
+					for o := 0; o < n; o++ {
+						if phase[o] < p {
+							t.Errorf("rank %d at phase %d saw rank %d at %d", r, p, o, phase[o])
+						}
+					}
+					if err := ts[r].Barrier(); err != nil {
+						t.Errorf("rank %d barrier: %v", r, err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	})
+}
+
+func TestConformanceAllReduce(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		const n = 5
+		ts := mesh(t, n, 1, 1)
+		sum := func(a, b float64) float64 { return a + b }
+		max := func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		}
+		var wg sync.WaitGroup
+		sums := make([]float64, n)
+		maxes := make([]float64, n)
+		vals := []float64{2, 9, 4, -1, 7}
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var err error
+				if sums[r], err = ts[r].AllReduce(float64(r+1), sum); err != nil {
+					t.Errorf("rank %d allreduce sum: %v", r, err)
+				}
+				if maxes[r], err = ts[r].AllReduce(vals[r], max); err != nil {
+					t.Errorf("rank %d allreduce max: %v", r, err)
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			if sums[r] != 15 {
+				t.Errorf("rank %d sum = %v, want 15", r, sums[r])
+			}
+			if maxes[r] != 9 {
+				t.Errorf("rank %d max = %v, want 9", r, maxes[r])
+			}
+		}
+	})
+}
+
+// TestConformanceStats: Stats counts what this endpoint sent, so the
+// mesh-wide sum matches the total traffic on both transports.
+func TestConformanceStats(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 3, 2, 4)
+		ts[0].Send(1, 1, []float64{1, 2}, nil)
+		ts[0].Send(2, 2, []float64{3}, nil)
+		ts[1].Send(2, 3, []float64{4, 5, 6}, nil)
+		for _, rcv := range []struct{ rank, n int }{{1, 1}, {2, 2}} {
+			for i := 0; i < rcv.n; i++ {
+				m, ok := ts[rcv.rank].Recv()
+				if !ok {
+					t.Fatal("recv failed")
+				}
+				m.Release()
+			}
+		}
+		var msgs, elems int64
+		for _, tr := range ts {
+			m, e := tr.Stats()
+			msgs += m
+			elems += e
+		}
+		if msgs != 3 || elems != 6 {
+			t.Errorf("mesh stats = %d msgs %d elems, want 3/6", msgs, elems)
+		}
+		m0, e0 := ts[0].Stats()
+		if m0 != 2 || e0 != 3 {
+			t.Errorf("rank 0 stats = %d msgs %d elems, want 2/3", m0, e0)
+		}
+	})
+}
+
+// TestConformanceManyToOneStress floods one receiver from several
+// senders through tight buffer limits.
+func TestConformanceManyToOneStress(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		const senders = 4
+		const msgs = 100
+		ts := mesh(t, senders+1, 2, 4)
+		var wg sync.WaitGroup
+		for r := 1; r <= senders; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					ts[r].Send(0, i, []float64{float64(r)}, []int64{int64(i)})
+				}
+			}(r)
+		}
+		seen := make(map[int]int)
+		for got := 0; got < senders*msgs; got++ {
+			m, ok := ts[0].Recv()
+			if !ok {
+				t.Fatal("transport closed early")
+			}
+			if int(m.Data[0]) != m.Src || int(m.Meta[0]) != m.Tag {
+				t.Fatalf("corrupted message: %+v", m)
+			}
+			seen[m.Src]++
+			m.Release()
+		}
+		wg.Wait()
+		for r := 1; r <= senders; r++ {
+			if seen[r] != msgs {
+				t.Errorf("rank %d delivered %d msgs, want %d", r, seen[r], msgs)
+			}
+		}
+	})
+}
+
+// TestConformanceCloseEndsRecv: after a collective shutdown, a blocked
+// Recv must return ok=false instead of hanging.
+func TestConformanceCloseEndsRecv(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mesh meshFunc) {
+		ts := mesh(t, 2, 1, 2)
+		done := make(chan bool, 1)
+		go func() {
+			_, ok := ts[1].Recv()
+			done <- ok
+		}()
+		time.Sleep(10 * time.Millisecond)
+		var wg sync.WaitGroup
+		for _, tr := range ts {
+			wg.Add(1)
+			go func(tr mpi.Transport) {
+				defer wg.Done()
+				if err := tr.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}(tr)
+		}
+		select {
+		case ok := <-done:
+			if ok {
+				t.Error("Recv on closed transport returned ok")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Recv did not return after Close")
+		}
+		wg.Wait()
+	})
+}
+
+// TestTCPPeerDeath is the fault-injection test: rank 1 dies abruptly
+// (no BYE) mid-run. Rank 0 must observe a clean failure — Recv
+// returns ok=false, Err reports the death, and a blocked Barrier
+// returns an error — rather than hanging.
+func TestTCPPeerDeath(t *testing.T) {
+	ts := tcpMesh(t, 2, 2, 2)
+	t0 := ts[0].(*tcp.Transport)
+	t1 := ts[1].(*tcp.Transport)
+
+	// Healthy traffic first, so the mesh is known-good.
+	t1.Send(0, 1, []float64{1}, nil)
+	m, ok := t0.Recv()
+	if !ok {
+		t.Fatal("healthy recv failed")
+	}
+	m.Release()
+
+	barrierErr := make(chan error, 1)
+	go func() {
+		barrierErr <- t0.Barrier() // blocks: rank 1 will never arrive
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	t1.Kill()
+
+	select {
+	case err := <-barrierErr:
+		if err == nil {
+			t.Error("Barrier after peer death returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Barrier hung after peer death")
+	}
+	if err := t0.Err(); err == nil {
+		t.Error("Err after peer death is nil")
+	}
+	recvDone := make(chan bool, 1)
+	go func() {
+		_, ok := t0.Recv()
+		recvDone <- ok
+	}()
+	select {
+	case ok := <-recvDone:
+		if ok {
+			t.Error("Recv after peer death returned ok")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv hung after peer death")
+	}
+	if _, err := t0.AllReduce(1, func(a, b float64) float64 { return a + b }); err == nil {
+		t.Error("AllReduce after peer death returned nil error")
+	}
+}

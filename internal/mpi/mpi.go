@@ -24,14 +24,31 @@ import (
 // and recycle the payload buffers — or ReleaseSlot if it needs to keep
 // the payload.
 type Message struct {
-	Src  int
-	Tag  int
+	// Src is the sending rank.
+	Src int
+	// Tag is the caller-chosen message tag (the engine uses the tile
+	// dependence index).
+	Tag int
+	// Data is the payload; ownership follows the pool contract of
+	// GetData/PutData.
 	Data []float64
+	// Meta is the integer metadata (the engine packs the consumer tile
+	// coordinates here); ownership follows GetMeta/PutMeta.
 	Meta []int64
 
 	slot     chan struct{}
+	release  func()
 	once     sync.Once
 	recycled atomic.Bool
+}
+
+// NewMessage builds a delivered message whose send-buffer slot is
+// freed by calling release (once, on the first Release/ReleaseSlot).
+// It is the constructor used by out-of-process transports such as
+// dpgen/internal/mpi/tcp, whose slot release is a wire-level
+// acknowledgement rather than a channel operation.
+func NewMessage(src, tag int, data []float64, meta []int64, release func()) *Message {
+	return &Message{Src: src, Tag: tag, Data: data, Meta: meta, release: release}
 }
 
 // Release returns the send-buffer slot to the sender and recycles
@@ -55,6 +72,9 @@ func (m *Message) ReleaseSlot() {
 	m.once.Do(func() {
 		if m.slot != nil {
 			<-m.slot
+		}
+		if m.release != nil {
+			m.release()
 		}
 	})
 }
@@ -136,9 +156,9 @@ type Comm struct {
 	count int
 	gen   int
 
-	// Statistics (atomic).
-	messages atomic.Int64
-	elems    atomic.Int64
+	// Per-sending-rank statistics (atomic).
+	messages []atomic.Int64
+	elems    []atomic.Int64
 
 	closed atomic.Bool
 }
@@ -158,6 +178,8 @@ func NewComm(size, sendBufs, recvBufs int) (*Comm, error) {
 	c.cond = sync.NewCond(&c.mu)
 	c.inbox = make([]chan *Message, size)
 	c.sendSlots = make([]chan struct{}, size)
+	c.messages = make([]atomic.Int64, size)
+	c.elems = make([]atomic.Int64, size)
 	for i := range c.inbox {
 		c.inbox[i] = make(chan *Message, recvBufs)
 		c.sendSlots[i] = make(chan struct{}, sendBufs)
@@ -187,22 +209,44 @@ func (c *Comm) Close() {
 	}
 }
 
-// Stats returns the total messages and float64 elements transferred.
+// Stats returns the total messages and float64 elements transferred
+// across all ranks.
 func (c *Comm) Stats() (messages, elems int64) {
-	return c.messages.Load(), c.elems.Load()
+	for i := range c.messages {
+		messages += c.messages[i].Load()
+		elems += c.elems[i].Load()
+	}
+	return messages, elems
 }
 
-// Rank is one endpoint of a communicator.
+// Rank is one endpoint of a communicator; it implements Transport.
 type Rank struct {
 	c  *Comm
 	id int
 }
+
+var _ Transport = (*Rank)(nil)
 
 // ID returns the rank number.
 func (r *Rank) ID() int { return r.id }
 
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.c.size }
+
+// Stats returns the messages and elements sent by this rank.
+func (r *Rank) Stats() (messages, elems int64) {
+	return r.c.messages[r.id].Load(), r.c.elems[r.id].Load()
+}
+
+// Err always returns nil: the in-process transport cannot lose a peer.
+func (r *Rank) Err() error { return nil }
+
+// Close shuts down the whole communicator (see Comm.Close); it is
+// idempotent, so every rank of a collective run may call it.
+func (r *Rank) Close() error {
+	r.c.Close()
+	return nil
+}
 
 // Send delivers a tagged message to dst. It blocks while all of this
 // rank's send buffers are in flight, and while dst's receive buffers are
@@ -224,8 +268,8 @@ func (r *Rank) Send(dst, tag int, data []float64, meta []int64) (stall time.Dura
 		stall = time.Since(t0)
 	}
 	m := &Message{Src: r.id, Tag: tag, Data: data, Meta: meta, slot: slot}
-	r.c.messages.Add(1)
-	r.c.elems.Add(int64(len(data)))
+	r.c.messages[r.id].Add(1)
+	r.c.elems[r.id].Add(int64(len(data)))
 	select {
 	case r.c.inbox[dst] <- m:
 	default:
@@ -267,8 +311,8 @@ func (r *Rank) SendPolling(dst, tag int, data []float64, meta []int64, poll func
 	for {
 		select {
 		case r.c.inbox[dst] <- m:
-			r.c.messages.Add(1)
-			r.c.elems.Add(int64(len(data)))
+			r.c.messages[r.id].Add(1)
+			r.c.elems[r.id].Add(int64(len(data)))
 			return stall
 		default:
 		}
@@ -296,8 +340,10 @@ func (r *Rank) Iprobe() (m *Message, ok bool) {
 	}
 }
 
-// Barrier blocks until every rank has entered it.
-func (r *Rank) Barrier() {
+// Barrier blocks until every rank has entered it. The in-process
+// implementation cannot fail; the error return exists for the
+// Transport contract.
+func (r *Rank) Barrier() error {
 	c := r.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -307,11 +353,12 @@ func (r *Rank) Barrier() {
 		c.count = 0
 		c.gen++
 		c.cond.Broadcast()
-		return
+		return nil
 	}
 	for gen == c.gen {
 		c.cond.Wait()
 	}
+	return nil
 }
 
 // allreduceState carries one in-progress reduction; Comm serializes
@@ -322,8 +369,9 @@ var allreduceVals = map[*Comm][]float64{}
 // AllReduce combines one float64 per rank with f (applied in rank order)
 // and returns the result on every rank. All ranks must call it
 // collectively, and reductions must not overlap with other reductions on
-// the same communicator.
-func (r *Rank) AllReduce(v float64, f func(a, b float64) float64) float64 {
+// the same communicator. The in-process implementation never returns a
+// non-nil error.
+func (r *Rank) AllReduce(v float64, f func(a, b float64) float64) (float64, error) {
 	c := r.c
 	allreduceMu.Lock()
 	vals := allreduceVals[c]
@@ -344,5 +392,5 @@ func (r *Rank) AllReduce(v float64, f func(a, b float64) float64) float64 {
 	allreduceMu.Unlock()
 
 	r.Barrier() // keep vals stable until everyone has read
-	return acc
+	return acc, nil
 }

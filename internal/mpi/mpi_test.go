@@ -190,7 +190,7 @@ func TestAllReduce(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			results[r] = c.Rank(r).AllReduce(float64(r+1), func(a, b float64) float64 { return a + b })
+			results[r], _ = c.Rank(r).AllReduce(float64(r+1), func(a, b float64) float64 { return a + b })
 		}(r)
 	}
 	wg.Wait()
@@ -211,7 +211,7 @@ func TestAllReduceMax(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			results[r] = c.Rank(r).AllReduce(vals[r], func(a, b float64) float64 {
+			results[r], _ = c.Rank(r).AllReduce(vals[r], func(a, b float64) float64 {
 				if a > b {
 					return a
 				}

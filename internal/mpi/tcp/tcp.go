@@ -1,0 +1,954 @@
+// Package tcp is the multi-process implementation of the mpi.Transport
+// contract: every rank is a separate OS process, and tile edges travel
+// between them over length-prefixed frames on a full mesh of TCP
+// connections. It is the piece that turns the in-process reproduction
+// into a genuinely distributed system — cmd/dprun wires it up behind
+// the -distributed flag.
+//
+// The wire format, buffer-ownership rules and failure semantics are
+// specified in docs/TRANSPORT.md. In short:
+//
+//   - Mesh establishment: rank r listens on peers[r], dials every rank
+//     s < r (with exponential-backoff retry until Options.DialTimeout,
+//     so processes may start in any order) and accepts a connection
+//     from every rank s > r; a HELLO frame identifies the dialer.
+//   - Data: a DATA frame carries (src, tag, meta, data). The receiver
+//     enqueues it into a bounded inbox (Options.RecvBufs); releasing
+//     the message sends an ACK frame back, which frees one of the
+//     sender's Options.SendBufs send-buffer slots. This reproduces the
+//     in-process transport's two backpressure mechanisms over the wire.
+//   - Collectives: Barrier and AllReduce are coordinated by rank 0
+//     with ARRIVE/RELEASE and VALUE/RESULT frames.
+//   - Shutdown: Close drains outstanding ACKs, exchanges BYE frames,
+//     and only then tears the sockets down, bounded by
+//     Options.DrainTimeout.
+//   - Failure: a connection that dies before BYE marks the transport
+//     failed — Recv returns ok=false, Err reports the cause, and
+//     blocked collectives return errors instead of hanging.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpgen/internal/mpi"
+)
+
+// Frame kinds (the byte after the length prefix; docs/TRANSPORT.md).
+const (
+	kHello      = byte(1) // u32 dialer rank
+	kData       = byte(2) // u32 src | i64 tag | u32 nmeta | u32 ndata | meta | data
+	kAck        = byte(3) // empty: one send-buffer slot released
+	kBarrier    = byte(4) // u32 seq: barrier arrival, sent to rank 0
+	kBarrierRel = byte(5) // u32 seq: barrier release, sent by rank 0
+	kARVal      = byte(6) // u32 seq | u32 src | f64: all-reduce contribution
+	kARRes      = byte(7) // u32 seq | f64: all-reduce result
+	kBye        = byte(8) // empty: graceful end-of-stream
+)
+
+// maxFrame bounds a frame's body length; larger lengths indicate a
+// corrupt stream and fail the transport.
+const maxFrame = 1 << 28
+
+// writeChunk is the per-attempt write deadline used by SendPolling so a
+// blocked send can interleave inbox polls with partial writes.
+const writeChunk = 50 * time.Millisecond
+
+// Options configures a TCP transport endpoint. Zero values select the
+// defaults noted on each field.
+type Options struct {
+	// SendBufs is the number of in-flight unacknowledged sends allowed
+	// before Send blocks (default 4) — the MPI send-buffer analog.
+	SendBufs int
+	// RecvBufs is the inbox capacity in messages (default 16); when it
+	// is full, backpressure propagates to senders through TCP.
+	RecvBufs int
+	// DialTimeout bounds mesh establishment (default 20s). Peers may
+	// start in any order inside this window.
+	DialTimeout time.Duration
+	// RetryBase is the first dial-retry backoff (default 25ms); it
+	// doubles per attempt up to RetryMax (default 1s).
+	RetryBase time.Duration
+	// RetryMax caps the dial-retry backoff (default 1s).
+	RetryMax time.Duration
+	// SendTimeout is the per-message write deadline (default 30s); a
+	// send that cannot complete within it fails the transport.
+	SendTimeout time.Duration
+	// DrainTimeout bounds the graceful Close drain: waiting for
+	// outstanding ACKs and the peers' BYE frames (default 10s).
+	DrainTimeout time.Duration
+	// Listener, if non-nil, is a pre-bound listener for this rank's
+	// address, overriding peers[rank]; tests use it to avoid port
+	// races. The transport takes ownership and closes it.
+	Listener net.Listener
+	// Logf, if non-nil, receives debug log lines (dial retries, drain
+	// progress).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SendBufs == 0 {
+		o.SendBufs = 4
+	}
+	if o.RecvBufs == 0 {
+		o.RecvBufs = 16
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 20 * time.Second
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = time.Second
+	}
+	if o.SendTimeout == 0 {
+		o.SendTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// ctrl is one decoded control frame routed to a collective waiter.
+type ctrl struct {
+	kind byte
+	seq  uint32
+	src  int
+	val  float64
+}
+
+// peerConn is one connection of the mesh, with a serialized writer.
+type peerConn struct {
+	peer int
+	c    net.Conn
+	r    *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+func newPeerConn(peer int, c net.Conn) *peerConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &peerConn{peer: peer, c: c, r: bufio.NewReaderSize(c, 1<<16)}
+}
+
+// Transport is one rank's endpoint of a TCP mesh; it implements
+// mpi.Transport. Create one with Dial; it is live for exactly one run.
+type Transport struct {
+	rank int
+	size int
+	opts Options
+
+	ln    net.Listener
+	conns []*peerConn // indexed by peer rank; nil at the self index
+
+	inbox chan *mpi.Message
+	slots chan struct{}
+
+	msgs     atomic.Int64
+	elems    atomic.Int64
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+	closing  atomic.Bool
+
+	readers sync.WaitGroup
+
+	seqMu sync.Mutex
+	seq   uint32
+
+	coordCh chan ctrl // rank 0: barrier arrivals / all-reduce values
+	relCh   chan ctrl // non-zero ranks: releases / results
+
+	byeMu   sync.Mutex
+	byes    int
+	allByes chan struct{}
+
+	closeOnce sync.Once
+}
+
+var _ mpi.Transport = (*Transport)(nil)
+
+// Dial establishes this rank's endpoint of a full TCP mesh over the
+// given peer addresses (peers[r] is rank r's listen address; rank is
+// this process's index into it). It blocks until every connection is
+// up or Options.DialTimeout expires; peers may start in any order
+// inside that window — dials retry with exponential backoff.
+func Dial(rank int, peers []string, opts Options) (*Transport, error) {
+	size := len(peers)
+	if size < 1 {
+		return nil, errors.New("tcp: no peers")
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", rank, size)
+	}
+	o := opts.withDefaults()
+	t := &Transport{
+		rank:    rank,
+		size:    size,
+		opts:    o,
+		conns:   make([]*peerConn, size),
+		inbox:   make(chan *mpi.Message, o.RecvBufs),
+		slots:   make(chan struct{}, o.SendBufs),
+		stop:    make(chan struct{}),
+		coordCh: make(chan ctrl, 4*size),
+		relCh:   make(chan ctrl, 4),
+		allByes: make(chan struct{}),
+	}
+	if size == 1 {
+		return t, nil
+	}
+
+	ln := o.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", peers[rank])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: rank %d listen %s: %w", rank, peers[rank], err)
+		}
+	}
+	t.ln = ln
+	deadline := time.Now().Add(o.DialTimeout)
+
+	// Higher ranks dial us; we dial lower ranks. One result per side.
+	nres := rank
+	naccept := size - 1 - rank
+	if naccept > 0 {
+		nres++
+	}
+	errs := make(chan error, nres)
+	var pending sync.WaitGroup
+	if naccept > 0 {
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			errs <- t.acceptPeers(naccept, deadline)
+		}()
+	}
+	for s := 0; s < rank; s++ {
+		pending.Add(1)
+		go func(s int) {
+			defer pending.Done()
+			errs <- t.dialPeer(s, peers[s], deadline)
+		}(s)
+	}
+
+	var firstErr error
+	timeout := time.NewTimer(time.Until(deadline) + 2*time.Second)
+	defer timeout.Stop()
+	for got := 0; got < nres; got++ {
+		select {
+		case err := <-errs:
+			if err != nil && firstErr == nil {
+				firstErr = err
+				ln.Close() // unblock the accept loop
+			}
+		case <-timeout.C:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tcp: rank %d: mesh not established within %s", rank, o.DialTimeout)
+			}
+			ln.Close()
+		}
+	}
+	pending.Wait()
+	if firstErr != nil {
+		for _, pc := range t.conns {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+		ln.Close()
+		return nil, firstErr
+	}
+	for _, pc := range t.conns {
+		if pc != nil {
+			t.readers.Add(1)
+			go t.reader(pc)
+		}
+	}
+	return t, nil
+}
+
+// acceptPeers accepts and handshakes the connections from all higher
+// ranks.
+func (t *Transport) acceptPeers(n int, deadline time.Time) error {
+	for i := 0; i < n; i++ {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: rank %d accept: %w", t.rank, err)
+		}
+		c.SetReadDeadline(deadline)
+		peer, err := readHello(c)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("tcp: rank %d handshake: %w", t.rank, err)
+		}
+		if peer <= t.rank || peer >= t.size || t.conns[peer] != nil {
+			c.Close()
+			return fmt.Errorf("tcp: rank %d: unexpected hello from rank %d", t.rank, peer)
+		}
+		c.SetReadDeadline(time.Time{})
+		t.conns[peer] = newPeerConn(peer, c)
+	}
+	return nil
+}
+
+// dialPeer connects to a lower rank, retrying with exponential backoff
+// until the deadline.
+func (t *Transport) dialPeer(s int, addr string, deadline time.Time) error {
+	backoff := t.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			if werr := writeHello(c, t.rank); werr == nil {
+				t.conns[s] = newPeerConn(s, c)
+				return nil
+			} else {
+				err = werr
+				c.Close()
+			}
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("tcp: rank %d dial rank %d (%s) after %d attempts: %w",
+				t.rank, s, addr, attempt+1, err)
+		}
+		t.opts.logf("tcp: rank %d dial rank %d (%s) attempt %d: %v; retrying in %s",
+			t.rank, s, addr, attempt+1, err, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > t.opts.RetryMax {
+			backoff = t.opts.RetryMax
+		}
+	}
+}
+
+// ID returns this endpoint's rank.
+func (t *Transport) ID() int { return t.rank }
+
+// Size returns the number of ranks in the mesh.
+func (t *Transport) Size() int { return t.size }
+
+// Stats returns the messages and float64 elements sent by this
+// endpoint.
+func (t *Transport) Stats() (messages, elems int64) {
+	return t.msgs.Load(), t.elems.Load()
+}
+
+// Bytes returns the raw bytes this endpoint has written to and read
+// from the wire, frame headers included — the bytes-on-wire quantity
+// behind the dp_edge_bytes_sent_total estimate in internal/obs.
+func (t *Transport) Bytes() (sent, recvd int64) {
+	return t.bytesOut.Load(), t.bytesIn.Load()
+}
+
+// Err returns the first fatal transport error observed, or nil.
+func (t *Transport) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// fail records the first fatal error and stops the transport.
+func (t *Transport) fail(err error) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+	t.stopOnce.Do(func() { close(t.stop) })
+}
+
+func (t *Transport) stopped() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// errOr returns the recorded error, or a generic one if the transport
+// stopped without recording a cause.
+func (t *Transport) errOr() error {
+	if err := t.Err(); err != nil {
+		return err
+	}
+	return errors.New("tcp: transport closed")
+}
+
+// Send delivers a tagged message to dst, blocking while all
+// Options.SendBufs send-buffer slots are in flight. The returned stall
+// is the time spent blocked on a slot or on a congested socket (zero on
+// the uncontended fast path). On a failed transport Send drops the
+// message and returns immediately; the failure surfaces through Err,
+// Recv and the collectives.
+func (t *Transport) Send(dst, tag int, data []float64, meta []int64) time.Duration {
+	return t.send(dst, tag, data, meta, nil)
+}
+
+// SendPolling delivers like Send but invokes poll() whenever it would
+// block — waiting for a send-buffer slot or for socket buffer space —
+// so a single-threaded rank can keep draining its own inbox mid-send.
+func (t *Transport) SendPolling(dst, tag int, data []float64, meta []int64, poll func()) time.Duration {
+	if poll == nil {
+		poll = func() {}
+	}
+	return t.send(dst, tag, data, meta, poll)
+}
+
+func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()) (stall time.Duration) {
+	// Acquire a send-buffer slot (freed by the receiver's ACK).
+	select {
+	case t.slots <- struct{}{}:
+	default:
+		t0 := time.Now()
+		if poll == nil {
+			select {
+			case t.slots <- struct{}{}:
+			case <-t.stop:
+				return time.Since(t0)
+			}
+		} else {
+			for {
+				select {
+				case t.slots <- struct{}{}:
+				case <-t.stop:
+					return time.Since(t0)
+				default:
+					poll()
+					continue
+				}
+				break
+			}
+		}
+		stall = time.Since(t0)
+	}
+	t.msgs.Add(1)
+	t.elems.Add(int64(len(data)))
+	if dst == t.rank {
+		// Self-delivery short-circuits the wire; the slot frees when
+		// the local receiver releases the message.
+		m := mpi.NewMessage(t.rank, tag, data, meta, func() {
+			select {
+			case <-t.slots:
+			default:
+			}
+		})
+		select {
+		case t.inbox <- m:
+		case <-t.stop:
+		}
+		return stall
+	}
+	if dst < 0 || dst >= t.size {
+		panic(fmt.Sprintf("tcp: send to rank %d out of range [0,%d)", dst, t.size))
+	}
+	pc := t.conns[dst]
+	wstall, err := pc.sendFrame(t, poll, kData, func(b []byte) []byte {
+		b = appendU32(b, uint32(t.rank))
+		b = appendU64(b, uint64(tag))
+		b = appendU32(b, uint32(len(meta)))
+		b = appendU32(b, uint32(len(data)))
+		for _, v := range meta {
+			b = appendU64(b, uint64(v))
+		}
+		for _, v := range data {
+			b = appendU64(b, math.Float64bits(v))
+		}
+		return b
+	})
+	stall += wstall
+	if err != nil {
+		t.fail(fmt.Errorf("tcp: rank %d send to rank %d: %w", t.rank, dst, err))
+		// No ACK will come for this message; return the slot so Close's
+		// drain does not wait on it.
+		select {
+		case <-t.slots:
+		default:
+		}
+	}
+	return stall
+}
+
+// sendFrame encodes one frame under the connection's write lock and
+// writes it with per-message deadlines; see writeLocked for the stall
+// accounting.
+func (pc *peerConn) sendFrame(t *Transport, poll func(), kind byte, body func([]byte) []byte) (time.Duration, error) {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	b := append(pc.wbuf[:0], 0, 0, 0, 0, kind)
+	if body != nil {
+		b = body(b)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	pc.wbuf = b
+	return pc.writeLocked(t, b, poll)
+}
+
+// writeLocked writes b fully, honouring the per-message SendTimeout.
+// With a poll callback, writes proceed in short deadline chunks and
+// poll() runs between them, so a rank blocked on a congested socket
+// keeps draining its own inbox; the time from the first blocked chunk
+// to completion is reported as stall.
+func (pc *peerConn) writeLocked(t *Transport, b []byte, poll func()) (stall time.Duration, err error) {
+	total := time.Now().Add(t.opts.SendTimeout)
+	var stallStart time.Time
+	wrote := 0
+	for wrote < len(b) {
+		if t.stopped() {
+			return stall, errors.New("transport stopped")
+		}
+		dl := total
+		if poll != nil {
+			if chunk := time.Now().Add(writeChunk); chunk.Before(dl) {
+				dl = chunk
+			}
+		}
+		pc.c.SetWriteDeadline(dl)
+		n, werr := pc.c.Write(b[wrote:])
+		wrote += n
+		if werr == nil {
+			continue
+		}
+		var ne net.Error
+		if errors.As(werr, &ne) && ne.Timeout() && time.Now().Before(total) {
+			if stallStart.IsZero() {
+				stallStart = time.Now()
+			}
+			if poll != nil {
+				poll()
+			}
+			continue
+		}
+		return stall, werr
+	}
+	if !stallStart.IsZero() {
+		stall = time.Since(stallStart)
+	}
+	t.bytesOut.Add(int64(len(b)))
+	return stall, nil
+}
+
+// ack sends the slot-release acknowledgement for a message received
+// from peer pc.
+func (t *Transport) ack(pc *peerConn) {
+	if _, err := pc.sendFrame(t, nil, kAck, nil); err != nil && !t.closing.Load() {
+		t.fail(fmt.Errorf("tcp: rank %d ack to rank %d: %w", t.rank, pc.peer, err))
+	}
+}
+
+// reader is the per-connection receive loop: it decodes frames,
+// enqueues DATA into the inbox, applies ACKs to the slot semaphore and
+// routes collective frames to their waiters. It exits on BYE, on
+// transport stop, or on a connection error (which fails the transport
+// unless a Close is in progress).
+func (t *Transport) reader(pc *peerConn) {
+	defer t.readers.Done()
+	var hdr [4]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(pc.r, hdr[:]); err != nil {
+			t.readerExit(pc, err)
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n < 1 || n > maxFrame {
+			t.fail(fmt.Errorf("tcp: rank %d: bad frame length %d from rank %d", t.rank, n, pc.peer))
+			return
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(pc.r, body); err != nil {
+			t.readerExit(pc, err)
+			return
+		}
+		t.bytesIn.Add(int64(4 + n))
+		kind, p := body[0], body[1:]
+		switch kind {
+		case kData:
+			m, err := t.decodeData(pc, p)
+			if err != nil {
+				t.fail(fmt.Errorf("tcp: rank %d: corrupt data frame from rank %d: %v", t.rank, pc.peer, err))
+				return
+			}
+			select {
+			case t.inbox <- m:
+			case <-t.stop:
+				return
+			}
+		case kAck:
+			select {
+			case <-t.slots:
+			default: // spurious ACK; harmless
+			}
+		case kBarrier, kARVal:
+			c, err := decodeCtrl(kind, p)
+			if err != nil {
+				t.fail(fmt.Errorf("tcp: rank %d: corrupt control frame from rank %d: %v", t.rank, pc.peer, err))
+				return
+			}
+			select {
+			case t.coordCh <- c:
+			case <-t.stop:
+				return
+			}
+		case kBarrierRel, kARRes:
+			c, err := decodeCtrl(kind, p)
+			if err != nil {
+				t.fail(fmt.Errorf("tcp: rank %d: corrupt control frame from rank %d: %v", t.rank, pc.peer, err))
+				return
+			}
+			select {
+			case t.relCh <- c:
+			case <-t.stop:
+				return
+			}
+		case kBye:
+			t.noteBye()
+			return
+		default:
+			t.fail(fmt.Errorf("tcp: rank %d: unknown frame kind %d from rank %d", t.rank, kind, pc.peer))
+			return
+		}
+	}
+}
+
+// readerExit handles a connection read error: silent during an
+// intentional shutdown, fatal (peer death) otherwise.
+func (t *Transport) readerExit(pc *peerConn, err error) {
+	if t.closing.Load() || t.stopped() {
+		return
+	}
+	t.fail(fmt.Errorf("tcp: rank %d: connection to rank %d died before BYE: %w", t.rank, pc.peer, err))
+}
+
+// decodeData builds a Message from a DATA frame body, drawing payload
+// buffers from the shared mpi pools; releasing the message ACKs the
+// sender.
+func (t *Transport) decodeData(pc *peerConn, p []byte) (*mpi.Message, error) {
+	if len(p) < 20 {
+		return nil, fmt.Errorf("short body (%d bytes)", len(p))
+	}
+	src := int(binary.LittleEndian.Uint32(p[0:4]))
+	tag := int(int64(binary.LittleEndian.Uint64(p[4:12])))
+	nmeta := int(binary.LittleEndian.Uint32(p[12:16]))
+	ndata := int(binary.LittleEndian.Uint32(p[16:20]))
+	if want := 20 + 8*nmeta + 8*ndata; want != len(p) {
+		return nil, fmt.Errorf("length mismatch: %d cells declared, %d bytes", want, len(p))
+	}
+	p = p[20:]
+	meta := mpi.GetMeta(nmeta)
+	for i := range meta {
+		meta[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	p = p[8*nmeta:]
+	data := mpi.GetData(ndata)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return mpi.NewMessage(src, tag, data, meta, func() { t.ack(pc) }), nil
+}
+
+func decodeCtrl(kind byte, p []byte) (ctrl, error) {
+	c := ctrl{kind: kind}
+	switch kind {
+	case kBarrier, kBarrierRel:
+		if len(p) != 4 {
+			return c, fmt.Errorf("barrier frame body %d bytes", len(p))
+		}
+		c.seq = binary.LittleEndian.Uint32(p)
+	case kARVal:
+		if len(p) != 16 {
+			return c, fmt.Errorf("allreduce value frame body %d bytes", len(p))
+		}
+		c.seq = binary.LittleEndian.Uint32(p[0:4])
+		c.src = int(binary.LittleEndian.Uint32(p[4:8]))
+		c.val = math.Float64frombits(binary.LittleEndian.Uint64(p[8:16]))
+	case kARRes:
+		if len(p) != 12 {
+			return c, fmt.Errorf("allreduce result frame body %d bytes", len(p))
+		}
+		c.seq = binary.LittleEndian.Uint32(p[0:4])
+		c.val = math.Float64frombits(binary.LittleEndian.Uint64(p[4:12]))
+	}
+	return c, nil
+}
+
+// noteBye records one peer's graceful end-of-stream.
+func (t *Transport) noteBye() {
+	t.byeMu.Lock()
+	t.byes++
+	done := t.byes == t.size-1
+	t.byeMu.Unlock()
+	if done {
+		close(t.allByes)
+	}
+}
+
+// Recv blocks for the next message. ok is false once the transport has
+// been closed — or has failed (see Err) — and the inbox is drained.
+func (t *Transport) Recv() (*mpi.Message, bool) {
+	select {
+	case m, ok := <-t.inbox:
+		return m, ok
+	case <-t.stop:
+		// Prefer draining what already arrived.
+		select {
+		case m, ok := <-t.inbox:
+			return m, ok
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Iprobe returns a pending message without blocking, or ok=false when
+// none is queued.
+func (t *Transport) Iprobe() (*mpi.Message, bool) {
+	select {
+	case m, ok := <-t.inbox:
+		return m, ok
+	default:
+		return nil, false
+	}
+}
+
+func (t *Transport) nextSeq() uint32 {
+	t.seqMu.Lock()
+	defer t.seqMu.Unlock()
+	t.seq++
+	return t.seq
+}
+
+// Barrier blocks until every rank has entered it, coordinated by
+// rank 0 (ARRIVE frames in, RELEASE frames out). It returns an error
+// instead of hanging when the transport has failed.
+func (t *Transport) Barrier() error {
+	if t.size == 1 {
+		return t.Err()
+	}
+	seq := t.nextSeq()
+	if t.rank == 0 {
+		for got := 0; got < t.size-1; got++ {
+			select {
+			case c := <-t.coordCh:
+				if c.kind != kBarrier || c.seq != seq {
+					err := fmt.Errorf("tcp: rank 0: barrier %d: unexpected control frame (kind %d seq %d)", seq, c.kind, c.seq)
+					t.fail(err)
+					return err
+				}
+			case <-t.stop:
+				return t.errOr()
+			}
+		}
+		for _, pc := range t.conns {
+			if pc == nil {
+				continue
+			}
+			if _, err := pc.sendFrame(t, nil, kBarrierRel, func(b []byte) []byte {
+				return appendU32(b, seq)
+			}); err != nil {
+				t.fail(fmt.Errorf("tcp: rank 0: barrier release to rank %d: %w", pc.peer, err))
+				return t.errOr()
+			}
+		}
+		return nil
+	}
+	if _, err := t.conns[0].sendFrame(t, nil, kBarrier, func(b []byte) []byte {
+		return appendU32(b, seq)
+	}); err != nil {
+		t.fail(fmt.Errorf("tcp: rank %d: barrier arrive: %w", t.rank, err))
+		return t.errOr()
+	}
+	select {
+	case c := <-t.relCh:
+		if c.kind != kBarrierRel || c.seq != seq {
+			err := fmt.Errorf("tcp: rank %d: barrier %d: unexpected release (kind %d seq %d)", t.rank, seq, c.kind, c.seq)
+			t.fail(err)
+			return err
+		}
+		return nil
+	case <-t.stop:
+		return t.errOr()
+	}
+}
+
+// AllReduce combines one float64 per rank with f, applied in rank
+// order by the rank-0 coordinator, and returns the result on every
+// rank. All ranks must call it collectively with the same f; it errors
+// instead of hanging on a failed transport.
+func (t *Transport) AllReduce(v float64, f func(a, b float64) float64) (float64, error) {
+	if t.size == 1 {
+		return v, t.Err()
+	}
+	seq := t.nextSeq()
+	if t.rank == 0 {
+		vals := make([]float64, t.size)
+		vals[0] = v
+		for got := 1; got < t.size; got++ {
+			select {
+			case c := <-t.coordCh:
+				if c.kind != kARVal || c.seq != seq || c.src <= 0 || c.src >= t.size {
+					err := fmt.Errorf("tcp: rank 0: allreduce %d: unexpected control frame (kind %d seq %d src %d)", seq, c.kind, c.seq, c.src)
+					t.fail(err)
+					return 0, err
+				}
+				vals[c.src] = c.val
+			case <-t.stop:
+				return 0, t.errOr()
+			}
+		}
+		acc := vals[0]
+		for i := 1; i < t.size; i++ {
+			acc = f(acc, vals[i])
+		}
+		for _, pc := range t.conns {
+			if pc == nil {
+				continue
+			}
+			if _, err := pc.sendFrame(t, nil, kARRes, func(b []byte) []byte {
+				b = appendU32(b, seq)
+				return appendU64(b, math.Float64bits(acc))
+			}); err != nil {
+				t.fail(fmt.Errorf("tcp: rank 0: allreduce result to rank %d: %w", pc.peer, err))
+				return 0, t.errOr()
+			}
+		}
+		return acc, nil
+	}
+	if _, err := t.conns[0].sendFrame(t, nil, kARVal, func(b []byte) []byte {
+		b = appendU32(b, seq)
+		b = appendU32(b, uint32(t.rank))
+		return appendU64(b, math.Float64bits(v))
+	}); err != nil {
+		t.fail(fmt.Errorf("tcp: rank %d: allreduce value: %w", t.rank, err))
+		return 0, t.errOr()
+	}
+	select {
+	case c := <-t.relCh:
+		if c.kind != kARRes || c.seq != seq {
+			err := fmt.Errorf("tcp: rank %d: allreduce %d: unexpected result (kind %d seq %d)", t.rank, seq, c.kind, c.seq)
+			t.fail(err)
+			return 0, err
+		}
+		return c.val, nil
+	case <-t.stop:
+		return 0, t.errOr()
+	}
+}
+
+// Close shuts the endpoint down gracefully: it waits (bounded by
+// Options.DrainTimeout) for outstanding sends to be acknowledged,
+// exchanges BYE frames with every peer, then tears down the sockets
+// and closes the inbox so Recv returns ok=false. Close after a
+// transport failure skips the drain. It returns Err().
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		t.closing.Store(true)
+		if t.size > 1 && t.Err() == nil {
+			deadline := time.Now().Add(t.opts.DrainTimeout)
+			for len(t.slots) > 0 && time.Now().Before(deadline) && !t.stopped() {
+				time.Sleep(time.Millisecond)
+			}
+			if n := len(t.slots); n > 0 {
+				t.opts.logf("tcp: rank %d: close with %d unacknowledged sends after %s drain", t.rank, n, t.opts.DrainTimeout)
+			}
+			for _, pc := range t.conns {
+				if pc != nil {
+					pc.sendFrame(t, nil, kBye, nil) // best effort
+				}
+			}
+			select {
+			case <-t.allByes:
+			case <-time.After(time.Until(deadline)):
+				t.opts.logf("tcp: rank %d: close without all BYEs after %s drain", t.rank, t.opts.DrainTimeout)
+			case <-t.stop:
+			}
+		}
+		t.stopOnce.Do(func() { close(t.stop) })
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, pc := range t.conns {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+		t.readers.Wait()
+		close(t.inbox)
+	})
+	return t.Err()
+}
+
+// Kill abruptly severs every connection without the BYE handshake,
+// simulating process death — the fault-injection hook used by the
+// transport conformance tests. The surviving peers observe a
+// connection error: their Recv returns ok=false, Err reports the
+// death, and blocked collectives return errors.
+func (t *Transport) Kill() {
+	t.fail(fmt.Errorf("tcp: rank %d killed", t.rank))
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, pc := range t.conns {
+		if pc != nil {
+			pc.c.Close()
+		}
+	}
+}
+
+// ---- framing helpers ----
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// writeHello sends the dialer's identity as the first frame of a
+// connection.
+func writeHello(c net.Conn, rank int) error {
+	b := appendU32([]byte{5, 0, 0, 0, kHello}, uint32(rank))
+	_, err := c.Write(b)
+	return err
+}
+
+// readHello reads and validates the HELLO frame that opens a dialed
+// connection.
+func readHello(c net.Conn) (int, error) {
+	var b [9]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != 5 || b[4] != kHello {
+		return 0, errors.New("malformed hello frame")
+	}
+	return int(binary.LittleEndian.Uint32(b[5:9])), nil
+}

@@ -196,6 +196,9 @@ func TestMetricsAndPrometheus(t *testing.T) {
 	if n0.EdgesSent != 1 || n1.EdgesRecv != 1 || n0.ElemsSent != 8 {
 		t.Errorf("edges sent/recv/elems = %d/%d/%d", n0.EdgesSent, n1.EdgesRecv, n0.ElemsSent)
 	}
+	if n0.BytesSent != 64 {
+		t.Errorf("bytes sent = %d, want 64 (8 per element)", n0.BytesSent)
+	}
 	if n1.PendingEdgesPeak != 3 {
 		t.Errorf("pending peak = %d, want 3", n1.PendingEdgesPeak)
 	}
@@ -209,6 +212,7 @@ func TestMetricsAndPrometheus(t *testing.T) {
 		"dp_tiles_executed_total{node=\"0\"} 2",
 		"dp_tiles_executed_total{node=\"1\"} 1",
 		"dp_edge_elems_sent_total{node=\"0\"} 8",
+		"dp_edge_bytes_sent_total{node=\"0\"} 64",
 		"dp_pending_edges_peak{node=\"1\"} 3",
 		"dp_run_makespan_seconds",
 	} {

@@ -23,6 +23,12 @@ type NodeMetrics struct {
 	EdgesSent        int64   `json:"edges_sent"`
 	EdgesRecv        int64   `json:"edges_recv"`
 	ElemsSent        int64   `json:"elems_sent"`
+	// BytesSent is the payload volume of sent edges (8 bytes per
+	// float64 element). It is derived from the same KSend trace events
+	// on every transport; the TCP transport additionally counts exact
+	// frame bytes (tcp.Transport.Bytes), which exceed this figure by
+	// the frame and metadata overhead documented in docs/TRANSPORT.md.
+	BytesSent int64 `json:"bytes_sent"`
 	PendingEdgesPeak int64   `json:"pending_edges_peak"`
 	EventsDropped    uint64  `json:"events_dropped"`
 }
@@ -63,6 +69,7 @@ func (tr *Trace) Metrics() *Metrics {
 		case KSend:
 			nm.EdgesSent++
 			nm.ElemsSent += e.Val
+			nm.BytesSent += 8 * e.Val
 		case KRecv:
 			nm.EdgesRecv++
 		case KPending:
@@ -106,6 +113,8 @@ var promFamilies = []promFamily{
 		func(n *NodeMetrics) any { return n.EdgesRecv }},
 	{"dp_edge_elems_sent_total", "counter", "Float64 elements sent in remote edges per node.",
 		func(n *NodeMetrics) any { return n.ElemsSent }},
+	{"dp_edge_bytes_sent_total", "counter", "Payload bytes sent in remote edges per node (8 per element; excludes framing).",
+		func(n *NodeMetrics) any { return n.BytesSent }},
 	{"dp_pending_edges_peak", "gauge", "Peak sampled pending-edge count per node (Figure 4 quantity).",
 		func(n *NodeMetrics) any { return n.PendingEdgesPeak }},
 	{"dp_trace_events_dropped_total", "counter", "Trace events lost to ring-buffer overwrite per node.",
