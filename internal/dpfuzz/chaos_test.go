@@ -1,0 +1,62 @@
+package dpfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosTCPBitIdentical runs a handful of generated specs over the
+// two-rank TCP transport with seeded random per-message delivery
+// delays (tcp.Options.ChaosDelay), so data messages — including
+// messages from the same peer — arrive out of order, and requires the
+// results to stay bit-identical to the independent serial reference.
+// This is the transport-reordering leg of oracle layer 4: tile-level
+// dataflow scheduling must make arrival order irrelevant.
+func TestChaosTCPBitIdentical(t *testing.T) {
+	seeds := []uint64{2, 7, 11, 23}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			in := Generate(seed)
+			ref := serialSolve(in.Spec, in.N)
+			tl, err := in.tiling()
+			if err != nil {
+				t.Fatalf("seed %d: tiling.New: %v", seed, err)
+			}
+			kernel := fuzzKernel(len(in.Spec.Deps))
+			chaos := func(rank int) func(src, tag int) time.Duration {
+				var mu sync.Mutex
+				rng := rand.New(rand.NewSource(int64(seed)<<8 | int64(rank)))
+				return func(src, tag int) time.Duration {
+					mu.Lock()
+					defer mu.Unlock()
+					if rng.Intn(3) == 0 {
+						return 0
+					}
+					return time.Duration(rng.Intn(1500)) * time.Microsecond
+				}
+			}
+			results, err := runTCP(tl, kernel, []int64{in.N}, 2, 2, in.SendBufs, in.RecvBufs, chaos)
+			if err != nil {
+				t.Fatalf("seed %d: chaos tcp run: %v", seed, err)
+			}
+			for r, res := range results {
+				if res.Value != ref.goal || res.Max != ref.max {
+					t.Errorf("seed %d rank %d: value %.17g max %.17g under chaos, serial reference %.17g / %.17g",
+						seed, r, res.Value, res.Max, ref.goal, ref.max)
+				}
+			}
+			if results[0].Messages != results[1].Messages || results[0].Elems != results[1].Elems {
+				t.Errorf("seed %d: ranks disagree on merged traffic under chaos: %d/%d vs %d/%d",
+					seed, results[0].Messages, results[0].Elems, results[1].Messages, results[1].Elems)
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+package dpfuzz
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpgen/internal/engine"
+	"dpgen/internal/mpi/tcp"
+	"dpgen/internal/spec"
+	"dpgen/internal/tiling"
+)
+
+// cellValue is the deterministic kernel body shared by the independent
+// serial reference and the engine kernel: a mix of the coordinates and
+// the (valid) dependence values with contraction weights summing below
+// one, so values stay bounded along any dependence chain. Because both
+// sides call this one function, any fusion or evaluation-order freedom
+// the compiler has applies identically to both, and bit-identity of
+// the results is meaningful.
+func cellValue(x []int64, depVals []float64, depValid []bool) float64 {
+	v := 1.0
+	for k, xv := range x {
+		v += float64((int64(k+1)*31+xv*17)%23) * 0.0625
+	}
+	for j := range depVals {
+		if depValid[j] {
+			v += depVals[j] * (0.5 / float64(j+1))
+		} else {
+			v -= float64(j+1) * 0.125
+		}
+	}
+	return v
+}
+
+// fuzzKernel adapts cellValue to the engine's kernel contract.
+func fuzzKernel(ndeps int) engine.Kernel {
+	return func(c *engine.Ctx) {
+		var vals [8]float64
+		for j := 0; j < ndeps; j++ {
+			if c.DepValid[j] {
+				vals[j] = c.V[c.DepLoc[j]]
+			}
+		}
+		c.V[c.Loc] = cellValue(c.X, vals[:ndeps], c.DepValid)
+	}
+}
+
+// serialResult is the independent reference solution.
+type serialResult struct {
+	cells map[string]float64
+	goal  float64
+	max   float64
+	n     int64
+}
+
+// serialSolve computes the instance with a plain recursive sweep over
+// the bounding box: per-dimension directions are derived directly from
+// the template signs (dependencies with positive components point to
+// larger coordinates, which must therefore be computed first), with no
+// tiling, no FM, and no runtime involved.
+func serialSolve(sp *spec.Spec, N int64) *serialResult {
+	sys := sp.System()
+	d := len(sp.Vars)
+	desc := make([]bool, d)
+	for _, dep := range sp.Deps {
+		for k, r := range dep.Vec {
+			if r > 0 {
+				desc[k] = true
+			}
+		}
+	}
+	res := &serialResult{cells: map[string]float64{}}
+	vals := make([]int64, 1+d)
+	vals[0] = N
+	x := vals[1:]
+	y := make([]int64, d)
+	depVals := make([]float64, len(sp.Deps))
+	depValid := make([]bool, len(sp.Deps))
+	first := true
+	var rec func(k int)
+	rec = func(k int) {
+		if k == d {
+			if !sys.Contains(vals) {
+				return
+			}
+			for j, dep := range sp.Deps {
+				for kk := range y {
+					y[kk] = x[kk] + dep.Vec[kk]
+				}
+				if v, ok := res.cells[pointKey(y)]; ok {
+					depVals[j], depValid[j] = v, true
+				} else {
+					depVals[j], depValid[j] = 0, false
+				}
+			}
+			v := cellValue(x, depVals, depValid)
+			res.cells[pointKey(x)] = v
+			res.n++
+			if first || v > res.max {
+				res.max = v
+				first = false
+			}
+			return
+		}
+		if desc[k] {
+			for v := N; v >= 0; v-- {
+				x[k] = v
+				rec(k + 1)
+			}
+		} else {
+			for v := int64(0); v <= N; v++ {
+				x[k] = v
+				rec(k + 1)
+			}
+		}
+	}
+	rec(0)
+	res.goal = res.cells[pointKey(make([]int64, d))]
+	return res
+}
+
+// CheckEngine is oracle layer 4, the end-to-end differential: the
+// independent serial sweep, a single-threaded engine run (compared
+// cell by cell via OnCell), the threaded multi-node run with the
+// instance's randomized knobs, the same run with the interior-tile
+// fast path disabled, and a two-rank run over real localhost TCP
+// sockets must all produce bit-identical values.
+func CheckEngine(in *Instance) error {
+	sp := in.Spec
+	params := []int64{in.N}
+	ref := serialSolve(sp, in.N)
+	kernel := fuzzKernel(len(sp.Deps))
+
+	tl, err := in.tiling()
+	if err != nil {
+		return fmt.Errorf("tiling.New: %w", err)
+	}
+
+	// Single-threaded engine run, compared cell by cell.
+	var mu sync.Mutex
+	got := make(map[string]float64, len(ref.cells))
+	base, err := engine.Run(tl, kernel, params, engine.Config{
+		Nodes: 1, Threads: 1,
+		OnCell: func(x []int64, v float64) {
+			mu.Lock()
+			got[pointKey(x)] = v
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("engine.Run (serial): %w", err)
+	}
+	if int64(len(got)) != ref.n {
+		return fmt.Errorf("engine computed %d cells, serial reference %d", len(got), ref.n)
+	}
+	for k, want := range ref.cells {
+		if g, ok := got[k]; !ok || g != want {
+			return fmt.Errorf("cell %s: engine %.17g, serial reference %.17g", k, got[k], want)
+		}
+	}
+	if base.Value != ref.goal {
+		return fmt.Errorf("engine goal %.17g != serial reference %.17g", base.Value, ref.goal)
+	}
+	if base.Max != ref.max {
+		return fmt.Errorf("engine max %.17g != serial reference %.17g", base.Max, ref.max)
+	}
+
+	// Threaded differential: randomized knobs, then the same with the
+	// fast path disabled.
+	multi := engine.Config{
+		Nodes: in.Nodes, Threads: in.Threads,
+		SendBufs: in.SendBufs, RecvBufs: in.RecvBufs,
+		QueueGroups: in.QueueGroups, Priority: in.Priority,
+		Balance: in.Balance, PollingRecv: in.PollingRecv,
+	}
+	noFast := multi
+	noFast.DisableFastPath = true
+	for _, c := range []struct {
+		name string
+		cfg  engine.Config
+	}{{"threaded", multi}, {"nofastpath", noFast}} {
+		name, cfg := c.name, c.cfg
+		res, err := engine.Run(tl, kernel, params, cfg)
+		if err != nil {
+			return fmt.Errorf("engine.Run (%s): %w", name, err)
+		}
+		if res.Value != ref.goal || res.Max != ref.max {
+			return fmt.Errorf("%s run: value %.17g max %.17g, serial reference %.17g / %.17g",
+				name, res.Value, res.Max, ref.goal, ref.max)
+		}
+	}
+
+	// Two-rank TCP differential over real localhost sockets. The ranks
+	// share the analysis (its lazy scans are concurrency-safe), as the
+	// in-process runs above already warmed it.
+	results, err := runTCP(tl, kernel, params, 2, 2, in.SendBufs, in.RecvBufs, nil)
+	if err != nil {
+		return fmt.Errorf("tcp run: %w", err)
+	}
+	for r, res := range results {
+		if res.Value != ref.goal || res.Max != ref.max {
+			return fmt.Errorf("tcp rank %d: value %.17g max %.17g, serial reference %.17g / %.17g",
+				r, res.Value, res.Max, ref.goal, ref.max)
+		}
+	}
+	if results[0].Messages != results[1].Messages || results[0].Elems != results[1].Elems {
+		return fmt.Errorf("tcp ranks disagree on merged traffic: %d/%d vs %d/%d",
+			results[0].Messages, results[0].Elems, results[1].Messages, results[1].Elems)
+	}
+	return nil
+}
+
+// runTCP executes the analyzed spec as nranks engine.Run calls, each
+// rank a goroutine with its own TCP endpoint over loopback — the
+// in-process analog of separate OS processes. chaos, if non-nil,
+// builds a per-rank delivery-delay hook (tcp.Options.ChaosDelay) so
+// the run also covers out-of-order message arrival.
+func runTCP(tl *tiling.Tiling, kernel engine.Kernel, params []int64, nranks, threads, sendBufs, recvBufs int, chaos func(rank int) func(src, tag int) time.Duration) ([]*engine.Result, error) {
+	lns := make([]net.Listener, nranks)
+	peers := make([]string, nranks)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:r] {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	results := make([]*engine.Result, nranks)
+	errs := make([]error, nranks)
+	var wg sync.WaitGroup
+	for r := 0; r < nranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := tcp.Options{
+				SendBufs: sendBufs, RecvBufs: recvBufs,
+				DialTimeout: 15 * time.Second,
+				Listener:    lns[r],
+			}
+			if chaos != nil {
+				o.ChaosDelay = chaos(r)
+			}
+			tr, err := tcp.Dial(r, peers, o)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = engine.Run(tl, kernel, params, engine.Config{
+				Transport: tr,
+				Threads:   threads,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,182 @@
+package dpfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dpgen/internal/fm"
+	"dpgen/internal/lin"
+)
+
+// FuzzSpec is the full-pipeline fuzz target: every input seed becomes
+// a generated instance pushed through all four oracle layers. Crashers
+// found by `go test -fuzz=FuzzSpec` land in testdata/fuzz/FuzzSpec and
+// replay on every plain `go test` thereafter.
+func FuzzSpec(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	// A couple of large seeds so the corpus is not just small integers.
+	f.Add(uint64(0x9e3779b97f4a7c15))
+	f.Add(uint64(0xdeadbeefcafe))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		in := Generate(seed)
+		if _, err := CheckAll(in); err != nil {
+			reportFailure(t, in, err)
+		}
+	})
+}
+
+// FuzzEhrhart exercises only the counting layers (loop bounds and
+// Ehrhart interpolation), which are cheap enough for the fuzzer to get
+// through thousands of specs per run.
+func FuzzEhrhart(f *testing.F) {
+	for seed := uint64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		in := Generate(seed)
+		if err := CheckNest(in); err != nil {
+			t.Errorf("seed %d: nest oracle: %v\nreproduce with:\n%s", seed, err, GoLiteral(in))
+		}
+		if _, err := CheckEhrhart(in); err != nil {
+			t.Errorf("seed %d: ehrhart oracle: %v\nreproduce with:\n%s", seed, err, GoLiteral(in))
+		}
+	})
+}
+
+// FuzzFM characterizes single-variable Fourier–Motzkin elimination
+// directly, below the spec layer, on arbitrary (including infeasible
+// and unbounded) systems the spec generator can never produce.
+//
+// The oracle is the defining property of the elimination: for an
+// integer point p over the remaining variables,
+//
+//	p ∈ Eliminate(sys, x)  ⇔  every x-free inequality holds at p and
+//	                          every (lower, upper) bound pair on x is
+//	                          rationally consistent at p,
+//
+// where the pair (l: a*x + L >= 0, a > 0) and (u: -b*x + U >= 0,
+// b > 0) is consistent iff b*L(p) + a*U(p) >= 0 (the cross-multiplied
+// comparison of -L/a <= U/b; integer tightening of the combined
+// constraint preserves truth at integer points, and simplex pruning
+// preserves the rational solution set). ErrInfeasible additionally
+// implies the original system has no integer points at all.
+func FuzzFM(f *testing.F) {
+	for seed := uint64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		checkFMSeed(t, seed)
+	})
+}
+
+// fmScan is the half-width of the lattice box the FM oracle scans.
+const fmScan = 5
+
+// checkFMSeed derives a random inequality system from seed, eliminates
+// one variable at a random prune level, and checks the pairwise-bound
+// characterization at every lattice point of a scan box.
+func checkFMSeed(t *testing.T, seed uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	nv := 2 + rng.Intn(2)
+	names := make([]string, nv)
+	for k := range names {
+		names[k] = fmt.Sprintf("x%d", k)
+	}
+	space := lin.MustSpace(nil, names)
+	sys := lin.NewSystem(space)
+	for m := 3 + rng.Intn(5); m > 0; m-- {
+		e := lin.Const(space, int64(rng.Intn(17))-8)
+		for _, name := range names {
+			if c := int64(rng.Intn(7)) - 3; c != 0 {
+				e = e.Add(lin.Term(space, c, name))
+			}
+		}
+		sys.Add(lin.Ineq{Expr: e})
+	}
+	xi := rng.Intn(nv)
+	prune := []fm.PruneLevel{fm.PruneAuto, fm.PruneSyntactic, fm.PruneSimplex}[rng.Intn(3)]
+
+	elim, err := fm.Eliminate(sys, names[xi], fm.Options{Prune: prune})
+	if err == fm.ErrInfeasible {
+		// Infeasibility is a rational certificate, so in particular no
+		// integer point of the scan box may satisfy the system.
+		forEachBoxPoint(nv, fmScan, func(vals []int64) {
+			if sys.Contains(vals) {
+				t.Fatalf("seed %d: Eliminate(%s) says infeasible but %v satisfies %v", seed, names[xi], vals, sys)
+			}
+		})
+		return
+	}
+	if err != nil {
+		t.Fatalf("seed %d: Eliminate(%s) on %v: %v", seed, names[xi], sys, err)
+	}
+	if elim.InvolvedIn(names[xi]) {
+		t.Fatalf("seed %d: Eliminate(%s) result still involves it: %v", seed, names[xi], elim)
+	}
+
+	var lower, upper []lin.Ineq
+	var free []lin.Ineq
+	for _, q := range sys.Ineqs {
+		switch c := q.CoeffAt(xi); {
+		case c > 0:
+			lower = append(lower, q)
+		case c < 0:
+			upper = append(upper, q)
+		default:
+			free = append(free, q)
+		}
+	}
+
+	// Scan the remaining variables; the eliminated slot stays 0, which
+	// is inert in both elim and the x-free / x-zeroed evaluations.
+	forEachBoxPoint(nv, fmScan, func(vals []int64) {
+		if vals[xi] != 0 {
+			return
+		}
+		expected := true
+		for _, q := range free {
+			if !q.Holds(vals) {
+				expected = false
+				break
+			}
+		}
+		for _, l := range lower {
+			if !expected {
+				break
+			}
+			a, lval := l.CoeffAt(xi), l.Eval(vals)
+			for _, u := range upper {
+				b, uval := -u.CoeffAt(xi), u.Eval(vals)
+				if b*lval+a*uval < 0 {
+					expected = false
+					break
+				}
+			}
+		}
+		if got := elim.Contains(vals); got != expected {
+			t.Fatalf("seed %d: point %v: Eliminate(%s) membership %v, pairwise bounds say %v\nsystem: %v\nresult: %v",
+				seed, vals, names[xi], got, expected, sys, elim)
+		}
+	})
+}
+
+// forEachBoxPoint visits every lattice point of [-scan, scan]^d.
+func forEachBoxPoint(d int, scan int64, visit func([]int64)) {
+	vals := make([]int64, d)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == d {
+			visit(vals)
+			return
+		}
+		for v := -scan; v <= scan; v++ {
+			vals[k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,268 @@
+// Package dpfuzz is the generative correctness harness of the
+// generator: a seeded random source of valid-by-construction DP specs
+// plus a layered oracle stack that checks every stage of the pipeline
+// against brute force (see docs/TESTING.md).
+//
+// The layers, from the bottom of the pipeline up:
+//
+//  1. FM-synthesized loop bounds (dpgen/internal/fm + loopgen) against
+//     direct lattice enumeration of the constraint system;
+//  2. Ehrhart point counts (dpgen/internal/ehrhart) against exhaustive
+//     counting on small instances;
+//  3. the tiling analysis's pack/unpack index sets and validity
+//     functions (dpgen/internal/tiling) against the dependence
+//     definition itself;
+//  4. end-to-end engine results: an independent serial solver vs. the
+//     threaded runtime vs. fast path on/off vs. a two-rank TCP
+//     transport run, all required bit-identical.
+//
+// Three consumers drive it: TestRandomSpecs (a fixed seed sweep run on
+// every `go test`), the native fuzz targets FuzzSpec/FuzzFM/
+// FuzzEhrhart, and the cmd/dpfuzz soak CLI which minimizes failures
+// and prints them as reproducible Go literals.
+package dpfuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/engine"
+	"dpgen/internal/fm"
+	"dpgen/internal/loopgen"
+	"dpgen/internal/spec"
+	"dpgen/internal/tiling"
+)
+
+// Instance is one generated test case: a valid spec, the parameter
+// value the engine layers run at, and the runtime configuration knobs
+// the differential layer varies. Everything is a deterministic
+// function of Seed.
+type Instance struct {
+	Seed uint64
+	Spec *spec.Spec
+	// N is the value of the single parameter "N" used by the engine
+	// and pack/unpack layers; the counting layers sweep smaller values.
+	N int64
+
+	// Randomized runtime knobs for the differential layer.
+	Nodes       int
+	Threads     int
+	SendBufs    int
+	RecvBufs    int
+	QueueGroups int
+	Priority    engine.Priority
+	Balance     balance.Method
+	PollingRecv bool
+
+	// Lazily built pipeline artifacts, shared across the oracle layers
+	// (each instance is exercised by a single goroutine).
+	nest    *loopgen.Nest
+	nestErr error
+	tl      *tiling.Tiling
+	tlErr   error
+}
+
+// iterNest lazily synthesizes the iteration-space loop nest via
+// Fourier–Motzkin elimination, exactly as the generator does.
+func (in *Instance) iterNest() (*loopgen.Nest, error) {
+	if in.nest == nil && in.nestErr == nil {
+		in.nest, in.nestErr = loopgen.Build(in.Spec.System(), in.Spec.Order(), fm.Options{Prune: fm.PruneSimplex})
+	}
+	return in.nest, in.nestErr
+}
+
+// tiling lazily runs the full generation-time analysis.
+func (in *Instance) tiling() (*tiling.Tiling, error) {
+	if in.tl == nil && in.tlErr == nil {
+		in.tl, in.tlErr = tiling.New(in.Spec)
+	}
+	return in.tl, in.tlErr
+}
+
+// maxTestN returns the largest parameter value any oracle layer will
+// evaluate this instance at.
+func (in *Instance) maxTestN() int64 {
+	if in.N > countMaxN {
+		return in.N
+	}
+	return countMaxN
+}
+
+// countMaxN is the largest parameter value the counting layers
+// (loop-bound and Ehrhart oracles) enumerate exhaustively.
+const countMaxN = 5
+
+// engineBaseN is the smallest engine-layer parameter value per
+// dimension count, chosen so the brute-force serial reference stays
+// around a few thousand cells while still spanning several tiles.
+var engineBaseN = map[int]int64{1: 24, 2: 11, 3: 7, 4: 5}
+
+// Generate derives a valid-by-construction instance from seed: random
+// dimension 1–4, a bounded parametric box plus up to two random extra
+// half-spaces, random single-direction-per-dimension template vectors,
+// a random loop order, tile widths, load-balancing dimensions, and
+// random runtime knobs. The returned spec always passes
+// spec.Validate, keeps the origin goal inside the iteration space at
+// every parameter value the oracles test, and admits at least one
+// initial tile (the template sign discipline makes the tile graph
+// acyclic).
+func Generate(seed uint64) *Instance {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	d := 1 + rng.Intn(4)
+
+	vars := make([]string, d)
+	for k := range vars {
+		vars[k] = fmt.Sprintf("v%d", k)
+	}
+	sp := spec.MustNew(fmt.Sprintf("fuzz_%016x", seed), []string{"N"}, vars)
+
+	in := &Instance{
+		Seed: seed,
+		Spec: sp,
+		N:    engineBaseN[d] + int64(rng.Intn(3)),
+	}
+
+	// Base box: guarantees a bounded nonempty space containing the
+	// origin at every N >= 0, and both-sided bounds for every variable
+	// (a loopgen requirement).
+	for _, v := range vars {
+		sp.MustConstrain(fmt.Sprintf("0 <= %s <= N", v))
+	}
+
+	// Up to two extra random half-spaces, kept only when the origin
+	// stays feasible at every parameter value the oracles will use
+	// (so the goal cell always exists for the engine layer).
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		for try := 0; try < 8; try++ {
+			if q, ok := randomHalfSpace(rng, vars, in.maxTestN()); ok {
+				sp.MustConstrain(q)
+				break
+			}
+		}
+	}
+
+	// Template vectors: one direction sign per dimension (a Validate
+	// rule — mixed signs would make the cell order cyclic), components
+	// in {0, ±1, ±2}, no zero vectors, distinct when possible.
+	signs := make([]int64, d)
+	for k := range signs {
+		signs[k] = 1
+		if rng.Intn(2) == 0 {
+			signs[k] = -1
+		}
+	}
+	ndeps := 1 + rng.Intn(3)
+	seen := map[string]bool{}
+	for j := 0; j < ndeps; j++ {
+		var vec []int64
+		for try := 0; ; try++ {
+			vec = make([]int64, d)
+			zero := true
+			for k := range vec {
+				vec[k] = signs[k] * int64(rng.Intn(3))
+				if vec[k] != 0 {
+					zero = false
+				}
+			}
+			key := fmt.Sprint(vec)
+			if !zero && (!seen[key] || try >= 4) {
+				seen[key] = true
+				break
+			}
+		}
+		sp.AddDep(fmt.Sprintf("r%d", j+1), vec...)
+	}
+
+	// Tile widths: at least the template reach (a Validate rule),
+	// randomly up to a little wider.
+	lo, hi := sp.Reach()
+	sp.TileWidths = make([]int64, d)
+	for k := range sp.TileWidths {
+		need := max(lo[k], hi[k])
+		if need == 0 {
+			need = 1
+		}
+		sp.TileWidths[k] = need + int64(rng.Intn(3))
+	}
+
+	// Random loop order; random nonempty load-balancing prefix.
+	order := append([]string(nil), vars...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sp.LoopOrder = order
+	lb := append([]string(nil), vars...)
+	rng.Shuffle(len(lb), func(i, j int) { lb[i], lb[j] = lb[j], lb[i] })
+	sp.LBDims = lb[:1+rng.Intn(d)]
+
+	// Runtime knobs for the differential layer.
+	in.Nodes = 2 + rng.Intn(2)
+	in.Threads = 2 + rng.Intn(2)
+	in.SendBufs = 1 + rng.Intn(4)
+	in.RecvBufs = 1 + rng.Intn(4)
+	in.QueueGroups = 1 + rng.Intn(2)
+	in.Priority = []engine.Priority{engine.ColumnMajor, engine.LevelSet, engine.FIFO}[rng.Intn(3)]
+	in.Balance = []balance.Method{balance.Prefix, balance.Hyperplane}[rng.Intn(2)]
+	in.PollingRecv = rng.Intn(2) == 0
+
+	if err := sp.Validate(); err != nil {
+		// Unreachable by construction; a panic here is itself a
+		// generator bug worth a crasher.
+		panic(fmt.Sprintf("dpfuzz: generated invalid spec (seed %d): %v", seed, err))
+	}
+	return in
+}
+
+// randomHalfSpace draws a random inequality over vars (written in the
+// spec constraint syntax) whose origin evaluation stays nonnegative
+// for every N in [0, maxN] — i.e. keeping the goal feasible — and
+// which involves at least one variable. ok is false when the draw is
+// origin-infeasible and should be retried.
+func randomHalfSpace(rng *rand.Rand, vars []string, maxN int64) (string, bool) {
+	cN := int64(rng.Intn(4)) - 1  // [-1, 2]
+	c0 := int64(rng.Intn(13)) - 4 // [-4, 8]
+	cv := make([]int64, len(vars))
+	anyVar := false
+	for k := range cv {
+		cv[k] = int64(rng.Intn(5)) - 2 // [-2, 2]
+		if cv[k] != 0 {
+			anyVar = true
+		}
+	}
+	if !anyVar {
+		return "", false
+	}
+	// Origin feasibility for all tested N: cN*N + c0 >= 0 on [0, maxN].
+	for _, n := range []int64{0, maxN} {
+		if cN*n+c0 < 0 {
+			return "", false
+		}
+	}
+	s := ""
+	addTerm := func(c int64, name string) {
+		if c == 0 {
+			return
+		}
+		switch {
+		case s == "" && name == "":
+			s = fmt.Sprint(c)
+		case s == "":
+			s = fmt.Sprintf("%d*%s", c, name)
+		default:
+			op := " + "
+			if c < 0 {
+				op, c = " - ", -c
+			}
+			if name == "" {
+				s += op + fmt.Sprint(c)
+			} else {
+				s += op + fmt.Sprintf("%d*%s", c, name)
+			}
+		}
+	}
+	for k, c := range cv {
+		addTerm(c, vars[k])
+	}
+	addTerm(cN, "N")
+	addTerm(c0, "")
+	return s + " >= 0", true
+}

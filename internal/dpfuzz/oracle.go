@@ -1,0 +1,411 @@
+package dpfuzz
+
+import (
+	"fmt"
+
+	"dpgen/internal/ehrhart"
+	"dpgen/internal/spec"
+	"dpgen/internal/tiling"
+)
+
+// CheckAll runs every oracle layer on the instance, in pipeline order.
+// ehrhartChecked reports whether the Ehrhart layer actually ran (it is
+// cost-gated; see CheckEhrhart). The first failing layer's error is
+// returned, tagged with the layer name and the seed.
+func CheckAll(in *Instance) (ehrhartChecked bool, err error) {
+	if err := CheckNest(in); err != nil {
+		return false, fmt.Errorf("seed %d: nest oracle: %w", in.Seed, err)
+	}
+	ehrhartChecked, err = CheckEhrhart(in)
+	if err != nil {
+		return ehrhartChecked, fmt.Errorf("seed %d: ehrhart oracle: %w", in.Seed, err)
+	}
+	if err := CheckPackUnpack(in); err != nil {
+		return ehrhartChecked, fmt.Errorf("seed %d: pack/unpack oracle: %w", in.Seed, err)
+	}
+	if err := CheckEngine(in); err != nil {
+		return ehrhartChecked, fmt.Errorf("seed %d: engine oracle: %w", in.Seed, err)
+	}
+	return ehrhartChecked, nil
+}
+
+// pointKey is the map key of an integer point.
+func pointKey(x []int64) string { return fmt.Sprint(x) }
+
+// brutePoints enumerates the iteration space at parameter value N by
+// scanning the bounding box [0,N]^d and testing every lattice point
+// against the raw constraint system — no FM, no loopgen. The box is
+// complete because the generator's base constraints 0 <= v_k <= N are
+// part of every spec.
+func brutePoints(sp *spec.Spec, N int64) [][]int64 {
+	sys := sp.System()
+	d := len(sp.Vars)
+	vals := make([]int64, 1+d)
+	vals[0] = N
+	var out [][]int64
+	var rec func(k int)
+	rec = func(k int) {
+		if k == d {
+			if sys.Contains(vals) {
+				out = append(out, append([]int64(nil), vals[1:]...))
+			}
+			return
+		}
+		for v := int64(0); v <= N; v++ {
+			vals[1+k] = v
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// CheckNest is oracle layer 1: the FM-synthesized loop nest must visit
+// exactly the integer points of the constraint system (soundness and
+// completeness), in strictly increasing lexicographic order of the
+// spec's loop order, and Nest.Count must agree with the visit count.
+func CheckNest(in *Instance) error {
+	sp := in.Spec
+	nest, err := in.iterNest()
+	if err != nil {
+		return fmt.Errorf("loopgen.Build: %w", err)
+	}
+	sys := sp.System()
+	orderIdx := make([]int, len(sp.Order()))
+	for i, name := range sp.Order() {
+		orderIdx[i] = sp.VarIndex(name)
+	}
+	for N := int64(0); N <= countMaxN; N++ {
+		brute := brutePoints(sp, N)
+		seen := make(map[string]bool, len(brute))
+		var prev []int64
+		visited := int64(0)
+		bad := ""
+		nest.Enumerate([]int64{N}, func(vals []int64) bool {
+			x := vals[1:]
+			visited++
+			if !sys.Contains(vals) {
+				bad = fmt.Sprintf("N=%d: nest visits %v outside the system", N, x)
+				return false
+			}
+			if prev != nil && !lexLess(prev, x, orderIdx) {
+				bad = fmt.Sprintf("N=%d: nest order violation: %v before %v (order %v)", N, prev, x, sp.Order())
+				return false
+			}
+			prev = append(prev[:0], x...)
+			k := pointKey(x)
+			if seen[k] {
+				bad = fmt.Sprintf("N=%d: nest visits %v twice", N, x)
+				return false
+			}
+			seen[k] = true
+			return true
+		})
+		if bad != "" {
+			return fmt.Errorf("%s", bad)
+		}
+		if visited != int64(len(brute)) {
+			return fmt.Errorf("N=%d: nest visits %d points, brute force finds %d", N, visited, len(brute))
+		}
+		for _, x := range brute {
+			if !seen[pointKey(x)] {
+				return fmt.Errorf("N=%d: nest misses in-space point %v", N, x)
+			}
+		}
+		if c := nest.Count([]int64{N}); c != visited {
+			return fmt.Errorf("N=%d: Nest.Count %d != enumerated %d", N, c, visited)
+		}
+	}
+	return nil
+}
+
+// lexLess reports a < b lexicographically in the given dimension order.
+func lexLess(a, b []int64, orderIdx []int) bool {
+	for _, k := range orderIdx {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// ehrhartCostCap bounds the estimated enumeration work ((maxN)^d lattice
+// points, summed over interpolation samples and brute verification) the
+// Ehrhart layer will pay per instance; costlier instances are skipped.
+const ehrhartCostCap = 2_000_000
+
+// CheckEhrhart is oracle layer 2: the interpolated Ehrhart
+// quasi-polynomial of the iteration-space nest must reproduce
+// brute-force lattice counts. checked is false when the layer was
+// cost-gated away: interpolation needs samples up to MinN +
+// period*(degree+1+verify), and specs with extra constraints are
+// additionally evaluated from a MinN past the small-N chamber breaks
+// their constant terms can introduce (a parametric polytope's count is
+// only piecewise quasi-polynomial; the generator's base box alone is a
+// pure dilation, so for box-only specs interpolation from 0 must
+// succeed and any failure is a bug).
+func CheckEhrhart(in *Instance) (checked bool, err error) {
+	sp := in.Spec
+	nest, err := in.iterNest()
+	if err != nil {
+		return false, fmt.Errorf("loopgen.Build: %w", err)
+	}
+	d := len(sp.Vars)
+	extras := len(sp.Constraints) > 2*d
+	minN := int64(0)
+	if extras {
+		minN = 10
+	}
+	const verify, window = 3, 4
+	period := int64(1)
+	for _, div := range nest.Divisors() {
+		period = lcm(period, div)
+	}
+	for attempt := 0; ; attempt++ {
+		maxN := minN + period*int64(d+1+verify) + window
+		if cost := ipow(maxN+2, d); cost > ehrhartCostCap {
+			return false, nil
+		}
+		q, ierr := ehrhart.Interpolate(nest, ehrhart.Options{MinN: minN, Verify: verify})
+		if ierr != nil {
+			if !extras {
+				return true, fmt.Errorf("box-only spec must interpolate from 0: %v", ierr)
+			}
+			if attempt == 0 {
+				// One retry from a later chamber; persistent failure is
+				// treated as a chamber artifact, not a bug.
+				minN += 8
+				continue
+			}
+			return false, nil
+		}
+		for N := minN; N <= minN+window; N++ {
+			want := int64(len(brutePoints(sp, N)))
+			if got := q.Eval(N); got != want {
+				return true, fmt.Errorf("quasi-polynomial %v evaluates to %d at N=%d, brute force counts %d", q, got, N, want)
+			}
+		}
+		return true, nil
+	}
+}
+
+// lcm returns the least common multiple of a and b.
+func lcm(a, b int64) int64 {
+	x, y := a, b
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return a / x * b
+}
+
+// ipow returns base**exp without overflow concerns for the small
+// arguments the cost gate uses.
+func ipow(base int64, exp int) int64 {
+	out := int64(1)
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// CheckPackUnpack is oracle layer 3: the tiling analysis against the
+// dependence definition itself. At the engine-layer parameter value it
+// verifies that the tile decomposition partitions the brute-force
+// iteration space exactly, that the validity functions agree with
+// literal membership of x+r, that every tile-crossing dependence maps
+// to a registered tile-dependence whose pack slab contains the
+// producer cell, that unpack lands the producer's value exactly where
+// the consumer's dependence location points, and that the initial-tile
+// scan finds a nonempty frontier.
+func CheckPackUnpack(in *Instance) error {
+	tl, err := in.tiling()
+	if err != nil {
+		return fmt.Errorf("tiling.New: %w", err)
+	}
+	for _, N := range packUnpackNs(in) {
+		if err := checkPackUnpackAt(in, tl, N); err != nil {
+			return fmt.Errorf("N=%d: %w", N, err)
+		}
+	}
+	return nil
+}
+
+// packUnpackNs returns the parameter values layer 3 runs at: the engine
+// value plus a small one that produces degenerate partial tiles.
+func packUnpackNs(in *Instance) []int64 {
+	if in.N > 2 {
+		return []int64{2, in.N}
+	}
+	return []int64{in.N}
+}
+
+func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
+	sp := in.Spec
+	sys := sp.System()
+	d := len(sp.Vars)
+	params := []int64{N}
+
+	// The template dependence memory offsets are the strides applied to
+	// the template vector (the mapping functions of IV-H).
+	for j, dep := range sp.Deps {
+		want := int64(0)
+		for k, r := range dep.Vec {
+			want += r * tl.Strides[k]
+		}
+		if tl.DepLocOff[j] != want {
+			return fmt.Errorf("DepLocOff[%d] = %d, strides give %d", j, tl.DepLocOff[j], want)
+		}
+	}
+
+	brute := brutePoints(sp, N)
+	bruteSet := make(map[string]bool, len(brute))
+	for _, x := range brute {
+		bruteSet[pointKey(x)] = true
+	}
+
+	var tiles [][]int64
+	var tileBad error
+	tl.ForEachTile(params, func(t []int64) bool {
+		if !tl.InTileSpace(params, t) {
+			tileBad = fmt.Errorf("ForEachTile yields %v but TileSys rejects it", t)
+			return false
+		}
+		tiles = append(tiles, append([]int64(nil), t...))
+		return true
+	})
+	if tileBad != nil {
+		return tileBad
+	}
+
+	// edgeCells memoizes the producer-side pack slab of (tile, dep).
+	edgeCells := map[string]map[string]bool{}
+	edgeSet := func(t []int64, dep int) (map[string]bool, error) {
+		k := fmt.Sprintf("%v|%d", t, dep)
+		if s, ok := edgeCells[k]; ok {
+			return s, nil
+		}
+		s := map[string]bool{}
+		var bad error
+		tl.ForEachEdgeCell(params, t, dep, func(i []int64) bool {
+			y := tl.GlobalOf(t, i)
+			if !sys.Contains(append([]int64{N}, y...)) {
+				bad = fmt.Errorf("pack slab of tile %v dep %d includes out-of-space cell %v", t, dep, y)
+				return false
+			}
+			s[pointKey(i)] = true
+			return true
+		})
+		if bad != nil {
+			return nil, bad
+		}
+		if int64(len(s)) != tl.EdgeSize(params, t, dep) {
+			return nil, fmt.Errorf("tile %v dep %d: EdgeSize %d != enumerated %d", t, dep, tl.EdgeSize(params, t, dep), len(s))
+		}
+		edgeCells[k] = s
+		return s, nil
+	}
+
+	svals := make([]int64, 1+d)
+	svals[0] = N
+	y := make([]int64, d)
+	cellTotal := int64(0)
+	seen := make(map[string]bool, len(brute))
+	for _, t := range tiles {
+		count := int64(0)
+		var bad error
+		tl.ForEachCell(params, t, func(i []int64) bool {
+			count++
+			x := tl.GlobalOf(t, i)
+			copy(svals[1:], x)
+			if !sys.Contains(svals) {
+				bad = fmt.Errorf("tile %v cell %v: global %v outside the space", t, i, x)
+				return false
+			}
+			if tt, _ := tl.TileOf(x); pointKey(tt) != pointKey(t) {
+				bad = fmt.Errorf("tile %v cell %v: global %v maps to tile %v", t, i, x, tt)
+				return false
+			}
+			pk := pointKey(x)
+			if seen[pk] {
+				bad = fmt.Errorf("cell %v enumerated by two tiles", x)
+				return false
+			}
+			seen[pk] = true
+
+			for j, dep := range sp.Deps {
+				for k := range y {
+					y[k] = x[k] + dep.Vec[k]
+				}
+				inSpace := bruteSet[pointKey(y)]
+				if got := tl.DepValid(j, svals); got != inSpace {
+					bad = fmt.Errorf("cell %v dep %s: DepValid %v but x+r in space is %v", x, dep.Name, got, inSpace)
+					return false
+				}
+				if !inSpace {
+					continue
+				}
+				ty, ly := tl.TileOf(y)
+				if pointKey(ty) == pointKey(t) {
+					continue
+				}
+				jd := -1
+				for cand, td := range tl.TileDeps {
+					match := true
+					for k := range ty {
+						if ty[k]-t[k] != td.Offset[k] {
+							match = false
+							break
+						}
+					}
+					if match {
+						jd = cand
+						break
+					}
+				}
+				if jd < 0 {
+					bad = fmt.Errorf("cell %v dep %s: producer tile %v has no registered tile-dependence offset from %v", x, dep.Name, ty, t)
+					return false
+				}
+				slab, serr := edgeSet(ty, jd)
+				if serr != nil {
+					bad = serr
+					return false
+				}
+				if !slab[pointKey(ly)] {
+					bad = fmt.Errorf("cell %v dep %s: producer cell %v (local %v of tile %v) not in pack slab %d", x, dep.Name, y, ly, ty, jd)
+					return false
+				}
+				consLoc := tl.Loc(i) + tl.DepLocOff[j]
+				if got := tl.UnpackLoc(jd, ly); got != consLoc {
+					bad = fmt.Errorf("cell %v dep %s: UnpackLoc %d != consumer DepLoc %d", x, dep.Name, got, consLoc)
+					return false
+				}
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+		if want := tl.CellCount(params, t); want != count {
+			return fmt.Errorf("tile %v: CellCount %d != enumerated %d", t, want, count)
+		}
+		cellTotal += count
+	}
+	if cellTotal != int64(len(brute)) {
+		return fmt.Errorf("tiles cover %d cells, brute force finds %d", cellTotal, len(brute))
+	}
+
+	initial, total := tl.InitialTiles(params)
+	if total != int64(len(tiles)) {
+		return fmt.Errorf("InitialTiles total %d != tile count %d", total, len(tiles))
+	}
+	if len(brute) > 0 && len(initial) == 0 {
+		return fmt.Errorf("nonempty space with no initial tiles (cyclic tile graph?)")
+	}
+	for _, t := range initial {
+		if n := tl.DepCount(params, t); n != 0 {
+			return fmt.Errorf("initial tile %v has %d unmet dependencies", t, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package dpfuzz
+
+import (
+	"testing"
+
+	"dpgen/internal/balance"
+	"dpgen/internal/engine"
+	"dpgen/internal/spec"
+)
+
+// regressionCases replays pinned counterexamples and corner-case
+// shapes through all four oracle layers. Every entry is a Go literal
+// in exactly the form Minimize/GoLiteral reports failures in, so a
+// crasher found by the fuzz targets or a cmd/dpfuzz soak is committed
+// here by pasting its output into a new build function.
+//
+// The soak-found entries pin real bugs (with the minimized literal the
+// soak reported); the rest pin the corner shapes development showed to
+// be the sharp edges of the pipeline — tile width exactly equal to the
+// template reach, magnitude-2 dependence components (ghost regions two
+// cells deep), thin diagonal iteration spaces from extra half-spaces,
+// a 1-D chain (degenerate tile graph), and a reversed loop order with
+// all-negative templates.
+var regressionCases = []struct {
+	name  string
+	build func() *Instance
+}{
+	{
+		// Soak seed 10067 (minimized): the extra constraint
+		// -v1 - 2*v2 >= 0 pins v1 = v2 = 0, so the tile offset for the
+		// v2-crossing dependence is unrealizable and its pack-slab
+		// system is rationally infeasible. fm's simplex pruning used to
+		// strip an infeasible system bare (every inequality of an
+		// infeasible system is vacuously implied by the rest), and
+		// loop synthesis then failed with "variable unbounded below".
+		name: "soak-10067-infeasible-pack-slab",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0x2753, N: 1,
+				Nodes: 2, Threads: 2, SendBufs: 2, RecvBufs: 3, QueueGroups: 1,
+				Priority: engine.ColumnMajor, Balance: balance.Hyperplane,
+			}
+			sp := spec.MustNew("fuzz_0000000000002753", []string{"N"}, []string{"v0", "v1", "v2", "v3"})
+			sp.MustConstrain("v0 >= 0")
+			sp.MustConstrain("N - v0 >= 0")
+			sp.MustConstrain("v1 >= 0")
+			sp.MustConstrain("N - v1 >= 0")
+			sp.MustConstrain("v2 >= 0")
+			sp.MustConstrain("N - v2 >= 0")
+			sp.MustConstrain("v3 >= 0")
+			sp.MustConstrain("N - v3 >= 0")
+			sp.MustConstrain("-v1 - 2*v2 >= 0")
+			sp.AddDep("r1", 0, 0, -1, 0)
+			sp.LoopOrder = []string{"v0", "v1", "v2", "v3"}
+			sp.LBDims = []string{"v0"}
+			sp.TileWidths = []int64{1, 1, 2, 1}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Soak seed 10629 (minimized): same root cause through a
+		// different door — -v0 + 1 >= 0 caps the space at two cells of
+		// a width-3 tile, so the offset -1 pack band (i0 >= 2) is
+		// infeasible against the tile-space bound t0 >= 0.
+		name: "soak-10629-thin-dim-pack-band",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0x2985, N: 1,
+				Nodes: 2, Threads: 2, SendBufs: 2, RecvBufs: 4, QueueGroups: 1,
+				Priority: engine.LevelSet, Balance: balance.Hyperplane,
+			}
+			sp := spec.MustNew("fuzz_0000000000002985", []string{"N"}, []string{"v0", "v1", "v2"})
+			sp.MustConstrain("v0 >= 0")
+			sp.MustConstrain("N - v0 >= 0")
+			sp.MustConstrain("v1 >= 0")
+			sp.MustConstrain("N - v1 >= 0")
+			sp.MustConstrain("v2 >= 0")
+			sp.MustConstrain("N - v2 >= 0")
+			sp.MustConstrain("-v0 + 1 >= 0")
+			sp.AddDep("r1", -1, 0, 0)
+			sp.LoopOrder = []string{"v2", "v1", "v0"}
+			sp.LBDims = []string{"v0"}
+			sp.TileWidths = []int64{3, 1, 1}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Soak seed 10709 (minimized): the 10629 shape under a
+		// different loop order and Prefix balancing.
+		name: "soak-10709-thin-dim-reordered",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0x29d5, N: 1,
+				Nodes: 2, Threads: 2, SendBufs: 2, RecvBufs: 4, QueueGroups: 1,
+				Priority: engine.LevelSet, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("fuzz_00000000000029d5", []string{"N"}, []string{"v0", "v1", "v2"})
+			sp.MustConstrain("v0 >= 0")
+			sp.MustConstrain("N - v0 >= 0")
+			sp.MustConstrain("v1 >= 0")
+			sp.MustConstrain("N - v1 >= 0")
+			sp.MustConstrain("v2 >= 0")
+			sp.MustConstrain("N - v2 >= 0")
+			sp.MustConstrain("-v0 + 1 >= 0")
+			sp.AddDep("r2", -1, 0, 0)
+			sp.LoopOrder = []string{"v2", "v0", "v1"}
+			sp.LBDims = []string{"v0"}
+			sp.TileWidths = []int64{3, 1, 1}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// 1-D chain: the degenerate tile graph (a path), smallest
+		// possible widths, FIFO priority.
+		name: "chain-1d-width-eq-reach",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0001, N: 25,
+				Nodes: 2, Threads: 2, SendBufs: 1, RecvBufs: 1, QueueGroups: 1,
+				Priority: engine.FIFO, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_chain", []string{"N"}, []string{"v0"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.AddDep("r1", -1)
+			sp.TileWidths = []int64{1}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Magnitude-2 components with tile widths exactly equal to the
+		// reach: the ghost band is as deep as a whole tile.
+		name: "width-eq-reach-mag2",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0002, N: 11,
+				Nodes: 3, Threads: 2, SendBufs: 2, RecvBufs: 2, QueueGroups: 2,
+				Priority: engine.ColumnMajor, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_mag2", []string{"N"}, []string{"v0", "v1"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.AddDep("r1", -2, -1)
+			sp.AddDep("r2", -1, -2)
+			sp.TileWidths = []int64{2, 2}
+			sp.LBDims = []string{"v1", "v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Thin diagonal band: two extra half-spaces squeeze the box to a
+		// strip, so most tiles are partial and many are empty.
+		name: "thin-diagonal-band",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0003, N: 12,
+				Nodes: 2, Threads: 3, SendBufs: 1, RecvBufs: 3, QueueGroups: 1,
+				Priority: engine.LevelSet, Balance: balance.Hyperplane,
+			}
+			sp := spec.MustNew("regress_band", []string{"N"}, []string{"v0", "v1"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.MustConstrain("v1 - v0 + 2 >= 0")
+			sp.MustConstrain("v0 - v1 + 2 >= 0")
+			sp.AddDep("r1", -1, 0)
+			sp.AddDep("r2", 0, -1)
+			sp.TileWidths = []int64{3, 2}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// All-negative-direction templates with a reversed loop order:
+		// the sweep runs from the far corner toward the origin goal.
+		name: "reversed-order-positive-deps",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0004, N: 7,
+				Nodes: 3, Threads: 3, SendBufs: 4, RecvBufs: 1, QueueGroups: 2,
+				Priority: engine.ColumnMajor, Balance: balance.Prefix, PollingRecv: true,
+			}
+			sp := spec.MustNew("regress_rev", []string{"N"}, []string{"v0", "v1", "v2"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.MustConstrain("0 <= v2 <= N")
+			sp.AddDep("r1", 1, 0, 1)
+			sp.AddDep("r2", 0, 2, 0)
+			sp.LoopOrder = []string{"v2", "v0", "v1"}
+			sp.TileWidths = []int64{2, 3, 2}
+			sp.LBDims = []string{"v2"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Mixed template signs across dimensions plus an extra
+		// constraint involving the parameter with coefficient 2.
+		name: "mixed-signs-param-coeff",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0005, N: 6,
+				Nodes: 2, Threads: 2, SendBufs: 3, RecvBufs: 2, QueueGroups: 1,
+				Priority: engine.LevelSet, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_mixed", []string{"N"}, []string{"v0", "v1", "v2"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.MustConstrain("0 <= v2 <= N")
+			sp.MustConstrain("-2*v0 - v1 + 2*N + 1 >= 0")
+			sp.AddDep("r1", -1, 1, -1)
+			sp.AddDep("r2", -2, 0, 0)
+			sp.AddDep("r3", 0, 1, 0)
+			sp.TileWidths = []int64{2, 2, 1}
+			sp.LoopOrder = []string{"v1", "v2", "v0"}
+			sp.LBDims = []string{"v1", "v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// The generator-bug shape from development: a half-space whose
+		// every coefficient is negative exercised the constraint
+		// printer/parser round-trip ("- 1*N" vs "+ -1*N").
+		name: "all-negative-halfspace-roundtrip",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0006, N: 13,
+				Nodes: 2, Threads: 2, SendBufs: 1, RecvBufs: 1, QueueGroups: 1,
+				Priority: engine.FIFO, Balance: balance.Hyperplane,
+			}
+			sp := spec.MustNew("regress_neg", []string{"N"}, []string{"v0", "v1"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.MustConstrain("-1*v0 - 2*v1 + 2*N + 3 >= 0")
+			sp.AddDep("r1", -1, -1)
+			sp.TileWidths = []int64{2, 2}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+}
+
+// TestRegressions replays every pinned case through the full oracle
+// stack; each must validate and pass bit-identically, forever.
+func TestRegressions(t *testing.T) {
+	for _, tc := range regressionCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			in := tc.build()
+			if err := in.Spec.Validate(); err != nil {
+				t.Fatalf("pinned spec fails validation: %v", err)
+			}
+			if _, err := CheckAll(in); err != nil {
+				t.Errorf("pinned case regressed: %v\nliteral:\n%s", err, GoLiteral(in))
+			}
+		})
+	}
+}
+
+// TestGoLiteralRoundTrip: the literal printer must reproduce each
+// pinned instance's spec exactly when its constraints are re-parsed —
+// the property that makes reported counterexamples trustworthy.
+func TestGoLiteralRoundTrip(t *testing.T) {
+	for _, tc := range regressionCases {
+		in := tc.build()
+		c := clone(in)
+		if got, want := GoLiteral(c), GoLiteral(in); got != want {
+			t.Errorf("%s: clone literal differs:\n%s\nvs\n%s", tc.name, got, want)
+		}
+	}
+}

@@ -123,6 +123,17 @@ func prune(sys *lin.System, opts Options) {
 			return
 		}
 	}
+	// An infeasible system must not be pruned: every inequality of an
+	// infeasible system is vacuously implied by the rest, so the greedy
+	// removal below would strip constraints until the leftovers are
+	// feasible — and meaningless. Parametrically empty systems (e.g. a
+	// pack slab for a tile offset no real tile index ever crosses) are
+	// legitimate inputs here; left intact, their emptiness surfaces
+	// correctly as empty loop bounds or a constant contradiction in a
+	// later elimination step.
+	if !simplex.Feasible(sys) {
+		return
+	}
 	// Greedy removal: walk the list, dropping any inequality implied by
 	// the others that remain.
 	for i := 0; i < len(sys.Ineqs); {

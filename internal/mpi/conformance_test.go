@@ -7,6 +7,7 @@
 package mpi_test
 
 import (
+	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -34,6 +35,29 @@ func inmemMesh(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
 }
 
 func tcpMesh(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
+	return tcpMeshChaos(t, size, sendBufs, recvBufs, nil)
+}
+
+// chaosDelayFn builds a seeded random per-message delivery delay for
+// one rank: roughly a third of messages are delivered immediately, the
+// rest held up to 2ms, enough to reorder deliveries (including from a
+// single peer) on loopback.
+func chaosDelayFn(seed int64) func(src, tag int) time.Duration {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(src, tag int) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Intn(3) == 0 {
+			return 0
+		}
+		return time.Duration(rng.Intn(2000)) * time.Microsecond
+	}
+}
+
+// tcpMeshChaos is tcpMesh with an optional per-rank ChaosDelay
+// constructor (nil for a quiet mesh).
+func tcpMeshChaos(t *testing.T, size, sendBufs, recvBufs int, chaos func(rank int) func(src, tag int) time.Duration) []mpi.Transport {
 	t.Helper()
 	lns := make([]net.Listener, size)
 	peers := make([]string, size)
@@ -52,12 +76,16 @@ func tcpMesh(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ts[r], errs[r] = tcp.Dial(r, peers, tcp.Options{
+			o := tcp.Options{
 				SendBufs:    sendBufs,
 				RecvBufs:    recvBufs,
 				DialTimeout: 10 * time.Second,
 				Listener:    lns[r],
-			})
+			}
+			if chaos != nil {
+				o.ChaosDelay = chaos(r)
+			}
+			ts[r], errs[r] = tcp.Dial(r, peers, o)
 		}(r)
 	}
 	wg.Wait()
@@ -86,6 +114,13 @@ var transportImpls = []struct {
 }{
 	{"inmem", inmemMesh},
 	{"tcp", tcpMesh},
+	// The TCP mesh again, under seeded random delivery delays: every
+	// scenario must also hold when data messages arrive out of order.
+	{"tcp-chaos", func(t *testing.T, size, sendBufs, recvBufs int) []mpi.Transport {
+		return tcpMeshChaos(t, size, sendBufs, recvBufs, func(rank int) func(src, tag int) time.Duration {
+			return chaosDelayFn(int64(rank + 1))
+		})
+	}},
 }
 
 func forEachTransport(t *testing.T, f func(t *testing.T, mesh meshFunc)) {

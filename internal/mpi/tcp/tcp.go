@@ -92,6 +92,14 @@ type Options struct {
 	// Logf, if non-nil, receives debug log lines (dial retries, drain
 	// progress).
 	Logf func(format string, args ...any)
+	// ChaosDelay, if non-nil, is a fault-injection hook for tests: each
+	// received data message is held for the returned duration before it
+	// is enqueued to the inbox, so deliveries — including deliveries
+	// from the same peer — can arrive out of order. Delayed messages
+	// bypass the inbox's TCP backpressure while they are held, so keep
+	// delays short. A zero return delivers immediately. Control frames
+	// (ACK, barrier, all-reduce, BYE) are never delayed.
+	ChaosDelay func(src, tag int) time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -170,6 +178,7 @@ type Transport struct {
 
 	stop     chan struct{}
 	stopOnce sync.Once
+	chaosWG  sync.WaitGroup // in-flight ChaosDelay deliveries
 	errMu    sync.Mutex
 	err      error
 	closing  atomic.Bool
@@ -595,6 +604,13 @@ func (t *Transport) reader(pc *peerConn) {
 				t.fail(fmt.Errorf("tcp: rank %d: corrupt data frame from rank %d: %v", t.rank, pc.peer, err))
 				return
 			}
+			if f := t.opts.ChaosDelay; f != nil {
+				if d := f(m.Src, m.Tag); d > 0 {
+					t.chaosWG.Add(1)
+					go t.deliverLate(m, d)
+					continue
+				}
+			}
 			select {
 			case t.inbox <- m:
 			case <-t.stop:
@@ -633,6 +649,27 @@ func (t *Transport) reader(pc *peerConn) {
 		default:
 			t.fail(fmt.Errorf("tcp: rank %d: unknown frame kind %d from rank %d", t.rank, kind, pc.peer))
 			return
+		}
+	}
+}
+
+// deliverLate enqueues a ChaosDelay-held message after its delay. A
+// transport stop cuts the hold short; a message that can no longer be
+// delivered after stop is dropped (the run is already over or failed).
+func (t *Transport) deliverLate(m *mpi.Message, d time.Duration) {
+	defer t.chaosWG.Done()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-t.stop:
+	}
+	select {
+	case t.inbox <- m:
+	default:
+		select {
+		case t.inbox <- m:
+		case <-t.stop:
 		}
 	}
 }
@@ -899,6 +936,7 @@ func (t *Transport) Close() error {
 			}
 		}
 		t.readers.Wait()
+		t.chaosWG.Wait()
 		close(t.inbox)
 	})
 	return t.Err()

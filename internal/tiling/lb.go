@@ -21,8 +21,13 @@ func (tl *Tiling) LBIndices() []int {
 
 // LBNest returns a nest scanning the load-balancing iteration space
 // (Section IV-J): the tile space with all non-load-balanced tile indices
-// eliminated by Fourier–Motzkin, ordered by balance priority.
+// eliminated by Fourier–Motzkin, ordered by balance priority. Safe for
+// concurrent use, as are the other lazily built scans, so one analysis
+// can back several engine runs at once (e.g. in-process multi-rank
+// tests).
 func (tl *Tiling) LBNest() (*loopgen.Nest, error) {
+	tl.lazyMu.Lock()
+	defer tl.lazyMu.Unlock()
 	if tl.lbNest != nil {
 		return tl.lbNest, nil
 	}
@@ -64,11 +69,15 @@ func (tl *Tiling) LBNest() (*loopgen.Nest, error) {
 // Results are memoized (the balancer asks for the same slabs on every
 // Build for a given instance).
 func (tl *Tiling) SlabWork(params, lb []int64) (int64, error) {
+	tl.lazyMu.Lock()
 	if tl.slabNest == nil {
 		if err := tl.buildSlabNest(); err != nil {
+			tl.lazyMu.Unlock()
 			return 0, err
 		}
 	}
+	slabNest := tl.slabNest
+	tl.lazyMu.Unlock()
 	p := make([]int64, 0, len(params)+len(lb))
 	p = append(p, params...)
 	p = append(p, lb...)
@@ -79,7 +88,7 @@ func (tl *Tiling) SlabWork(params, lb []int64) (int64, error) {
 		return v, nil
 	}
 	tl.slabMu.Unlock()
-	v := tl.slabNest.Count(p)
+	v := slabNest.Count(p)
 	tl.slabMu.Lock()
 	if tl.slabMemo == nil {
 		tl.slabMemo = map[string]int64{}
@@ -136,11 +145,15 @@ func (tl *Tiling) buildSlabNest() error {
 // the per-slab denominator the runtime needs for per-node owned-tile
 // totals without a full tile-space scan. Memoized like SlabWork.
 func (tl *Tiling) SlabTiles(params, lb []int64) (int64, error) {
+	tl.lazyMu.Lock()
 	if tl.slabTilesNest == nil {
 		if err := tl.buildSlabTilesNest(); err != nil {
+			tl.lazyMu.Unlock()
 			return 0, err
 		}
 	}
+	slabTilesNest := tl.slabTilesNest
+	tl.lazyMu.Unlock()
 	p := make([]int64, 0, len(params)+len(lb))
 	p = append(p, params...)
 	p = append(p, lb...)
@@ -151,7 +164,7 @@ func (tl *Tiling) SlabTiles(params, lb []int64) (int64, error) {
 		return v, nil
 	}
 	tl.slabMu.Unlock()
-	v := tl.slabTilesNest.Count(p)
+	v := slabTilesNest.Count(p)
 	tl.slabMu.Lock()
 	if tl.slabMemo == nil {
 		tl.slabMemo = map[string]int64{}

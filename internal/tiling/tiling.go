@@ -87,6 +87,7 @@ type Tiling struct {
 	tileSpace     *lin.Space    // (params | t...) in Vars order
 	localSpace    *lin.Space    // (params, t... | i...) — params+tiles as parameters
 	orderIdx      []int         // loop order as indexes into Spec.Vars
+	lazyMu        sync.Mutex    // guards lazy nest construction below
 	lbNest        *loopgen.Nest // cached load-balancing space scan
 	slabNest      *loopgen.Nest // cached slab work counter
 	slabMu        sync.Mutex
