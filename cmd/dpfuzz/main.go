@@ -16,6 +16,7 @@
 //	dpfuzz -start 5000 -count 200  # a specific seed range
 //	dpfuzz -duration 30m           # as many seeds as fit in 30 minutes
 //	dpfuzz -workers 4              # parallel soak
+//	dpfuzz -killrecover            # add the crash-recovery differential per seed
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers")
 	progress := flag.Duration("progress", 10*time.Second, "progress report interval")
 	failFast := flag.Bool("failfast", false, "stop at the first failure")
+	killRecover := flag.Bool("killrecover", false, "also run the crash-recovery differential per seed (rank kill + resume/rejoin)")
 	flag.Parse()
 
 	if *count == 0 && *duration == 0 {
@@ -84,6 +86,9 @@ func main() {
 				checked, err := dpfuzz.CheckAll(in)
 				if checked {
 					ehrharts.Add(1)
+				}
+				if err == nil && *killRecover {
+					err = dpfuzz.CheckKillRecover(in)
 				}
 				done.Add(1)
 				if err == nil {

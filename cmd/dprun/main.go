@@ -18,15 +18,25 @@
 // or let dprun fork a local worker process per rank:
 //
 //	dprun -problem bandit2 -distributed -launch 2 -threads 2 -check
+//
+// With -ckpt-dir the job is fault tolerant: each rank checkpoints its
+// progress, peer death is detected by heartbeats instead of hanging the
+// mesh, and the -launch supervisor restarts a crashed non-root rank
+// with -resume -rejoin so the job still finishes with bit-identical
+// results (see docs/FAULT_TOLERANCE.md):
+//
+//	dprun -problem bandit2 -distributed -launch 2 -ckpt-dir /tmp/ck -kill-rank 1 -crash-after-tiles 40 -check
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -60,6 +70,14 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print a Prometheus text-exposition snapshot of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+
+		ckptDir     = flag.String("ckpt-dir", "", "checkpoint directory; enables the fault-tolerance layer (docs/FAULT_TOLERANCE.md)")
+		ckptEvery   = flag.Int64("ckpt-every", 0, "checkpoint cadence in executed tiles (default 64 with -ckpt-dir)")
+		resume      = flag.Bool("resume", false, "restore this rank's state from its checkpoint before running")
+		rejoin      = flag.Bool("rejoin", false, "reconnect into a live recovery mesh after a crash (implies -resume)")
+		crashTiles  = flag.Int64("crash-after-tiles", 0, "fault injection: exit(3) after this rank executes N tiles")
+		killRank    = flag.Int("kill-rank", -1, "fault injection for -launch: forward -crash-after-tiles to this rank only")
+		maxRestarts = flag.Int("max-restarts", 3, "per-rank restart budget for the -launch supervisor (with -ckpt-dir)")
 	)
 	flag.Parse()
 
@@ -67,7 +85,7 @@ func main() {
 		if !*distrib {
 			fatal(fmt.Errorf("-launch requires -distributed"))
 		}
-		os.Exit(launchLocal(*launch))
+		os.Exit(launchLocal(*launch, *maxRestarts, *ckptDir, *killRank, *crashTiles))
 	}
 
 	if *cpuProf != "" {
@@ -104,16 +122,38 @@ func main() {
 		SendBufs: *sendBufs, RecvBufs: *recvBufs,
 		QueueGroups: *groups,
 		PollingRecv: *polling,
+		Checkpoint: dpgen.CheckpointConfig{
+			Dir:        *ckptDir,
+			EveryTiles: *ckptEvery,
+			Resume:     *resume || *rejoin,
+		},
+	}
+	if *crashTiles > 0 {
+		cfg.CrashAfterTiles = *crashTiles
+		cfg.CrashFn = func() {
+			fmt.Fprintf(os.Stderr, "injected crash after %d tiles\n", *crashTiles)
+			os.Exit(3)
+		}
 	}
 	if *distrib {
 		peers := strings.Split(*peersStr, ",")
 		if *peersStr == "" || *rank < 0 || *rank >= len(peers) {
 			fatal(fmt.Errorf("-distributed needs -rank in [0,%d) and a -peers address per rank (or -launch N)", len(peers)))
 		}
-		tr, err := dpgen.DialTCP(*rank, peers, dpgen.TCPOptions{
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSig()
+		opts := dpgen.TCPOptions{
 			SendBufs: *sendBufs,
 			RecvBufs: *recvBufs,
-		})
+			Recovery: *ckptDir != "",
+			Context:  ctx,
+		}
+		var tr dpgen.Transport
+		if *rejoin {
+			tr, err = dpgen.DialTCPRejoin(*rank, peers, opts)
+		} else {
+			tr, err = dpgen.DialTCP(*rank, peers, opts)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -169,6 +209,11 @@ func main() {
 			fmt.Printf("node %d: tiles %d cells %d sent %d recv %d local %d peak_edges %d peak_elems %d idle %s send_stall %s\n",
 				i, st.TilesExecuted, st.CellsComputed, st.EdgesSentRemote, st.EdgesRecvRemote,
 				st.EdgesLocal, st.PeakPendingEdges, st.PeakBufferedElems, st.IdleTime, st.SendStallTime)
+			if *ckptDir != "" {
+				fmt.Printf("node %d: ckpts %d ckpt_bytes %d dup_dropped %d hb_misses %d peer_restarts %d\n",
+					i, st.Checkpoints, st.CheckpointBytes, st.EdgesDroppedDup,
+					st.HeartbeatMisses, st.PeerRestarts)
+			}
 		}
 	}
 	if tracer != nil {
@@ -225,13 +270,34 @@ func main() {
 	}
 }
 
-// launchLocal is the convenience forker behind -launch N: it picks N
-// loopback ports, re-executes this binary once per rank with
+// childExit is one supervised worker process's termination report.
+type childExit struct {
+	rank int
+	err  error    // nil on clean exit
+	code int      // process exit code (-1 when unknown)
+	tail []string // last output lines, for the failure diagnostic
+}
+
+// tailLines is how many trailing output lines the supervisor keeps per
+// child for its failure diagnostic.
+const tailLines = 12
+
+// launchLocal is the local launcher and supervisor behind -launch N: it
+// picks N loopback ports, re-executes this binary once per rank with
 // -distributed -rank r -peers ..., forwarding the other explicitly-set
-// flags (except per-process outputs like -trace and the profiles,
-// whose filenames would collide), prefixes each child's output with
-// its rank, and returns a process exit code.
-func launchLocal(n int) int {
+// flags (except per-process outputs like -trace and the profiles, whose
+// filenames would collide), and prefixes each child's output with its
+// rank. With -kill-rank it forwards the -crash-after-tiles fault
+// injection to that rank only.
+//
+// When a child dies and checkpointing is on (-ckpt-dir), the supervisor
+// restarts the crashed rank with -resume -rejoin — the rank reloads its
+// checkpoint and the surviving peers replay their retained sends — up
+// to maxRestarts times per rank. Rank 0 coordinates the result merge
+// and is not restartable. On a terminal failure the remaining children
+// are killed and the first failed child's exit status and output tail
+// are propagated.
+func launchLocal(n, maxRestarts int, ckptDir string, killRank int, crashTiles int64) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -253,55 +319,124 @@ func launchLocal(n int) int {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "launch", "distributed", "rank", "peers", "nodes",
-			"trace", "metrics", "cpuprofile", "memprofile":
+			"trace", "metrics", "cpuprofile", "memprofile",
+			"kill-rank", "max-restarts", "crash-after-tiles",
+			"resume", "rejoin":
 			return
 		}
 		common = append(common, "-"+f.Name+"="+f.Value.String())
 	})
 
-	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes output lines across children
-	failed := false
-	for r := 0; r < n; r++ {
+	var mu sync.Mutex // serializes output lines and the process table
+	procs := make(map[int]*exec.Cmd, n)
+	exits := make(chan childExit, n)
+
+	// start launches (or relaunches) rank r and begins streaming its
+	// output; extra carries the restart or fault-injection flags.
+	start := func(r int, extra ...string) error {
 		args := append([]string{
 			"-distributed",
 			"-rank", strconv.Itoa(r),
 			"-peers", strings.Join(peers, ","),
 		}, common...)
+		args = append(args, extra...)
 		cmd := exec.Command(exe, args...)
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return err
 		}
 		cmd.Stderr = cmd.Stdout // one prefixed stream per child
 		if err := cmd.Start(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return err
 		}
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
+		mu.Lock()
+		procs[r] = cmd
+		mu.Unlock()
+		go func() {
+			var tail []string
 			sc := bufio.NewScanner(stdout)
 			sc.Buffer(make([]byte, 64*1024), 1024*1024)
 			for sc.Scan() {
 				mu.Lock()
 				fmt.Printf("[rank %d] %s\n", r, sc.Text())
 				mu.Unlock()
+				tail = append(tail, sc.Text())
+				if len(tail) > tailLines {
+					tail = tail[1:]
+				}
 			}
-			if err := cmd.Wait(); err != nil {
-				mu.Lock()
-				fmt.Fprintf(os.Stderr, "[rank %d] exited: %v\n", r, err)
-				failed = true
-				mu.Unlock()
+			ex := childExit{rank: r, err: cmd.Wait(), code: -1, tail: tail}
+			if st := cmd.ProcessState; st != nil {
+				ex.code = st.ExitCode()
 			}
-		}(r)
+			exits <- ex
+		}()
+		return nil
 	}
-	wg.Wait()
-	if failed {
-		return 1
+
+	for r := 0; r < n; r++ {
+		var extra []string
+		if r == killRank && crashTiles > 0 {
+			extra = []string{"-crash-after-tiles", strconv.FormatInt(crashTiles, 10)}
+		}
+		if err := start(r, extra...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
-	return 0
+
+	restarts := make(map[int]int, n)
+	running := n
+	ret := 0
+	for running > 0 {
+		ex := <-exits
+		if ex.err == nil {
+			running--
+			continue
+		}
+		if ret != 0 {
+			// Already failing: just reap the remaining children.
+			running--
+			continue
+		}
+		recoverable := ckptDir != "" && ex.rank != 0 && restarts[ex.rank] < maxRestarts
+		if recoverable {
+			restarts[ex.rank]++
+			fmt.Fprintf(os.Stderr, "supervisor: rank %d exited (%v); restart %d/%d with -resume -rejoin\n",
+				ex.rank, ex.err, restarts[ex.rank], maxRestarts)
+			if err := start(ex.rank, "-resume", "-rejoin"); err == nil {
+				continue
+			} else {
+				fmt.Fprintf(os.Stderr, "supervisor: restart of rank %d failed: %v\n", ex.rank, err)
+			}
+		}
+		// Terminal: report the failure, propagate the child's status and
+		// take the rest of the mesh down rather than letting it hang out
+		// its peer-down timeout.
+		running--
+		ret = ex.code
+		if ret <= 0 {
+			ret = 1
+		}
+		fmt.Fprintf(os.Stderr, "supervisor: rank %d failed (%v, exit code %d) after %d restarts\n",
+			ex.rank, ex.err, ex.code, restarts[ex.rank])
+		for _, line := range ex.tail {
+			fmt.Fprintf(os.Stderr, "supervisor: [rank %d] %s\n", ex.rank, line)
+		}
+		mu.Lock()
+		for r, cmd := range procs {
+			if r != ex.rank && cmd.Process != nil {
+				cmd.Process.Kill() // no-op error if it already exited
+			}
+		}
+		mu.Unlock()
+	}
+	if ret == 0 {
+		for r, k := range restarts {
+			fmt.Printf("supervisor: rank %d recovered after %d restart(s)\n", r, k)
+		}
+	}
+	return ret
 }
 
 func fatal(err error) {

@@ -152,3 +152,59 @@ func TestDprunDistributedSmoke(t *testing.T) {
 		t.Errorf("output lacks serial-reference check (serial value %.17g):\n%s", serial, text)
 	}
 }
+
+// TestDprunSupervisorRecovery is the OS-process fault-tolerance smoke:
+// dprun's supervisor launches two ranks with crash injection in rank 1,
+// reaps the dead child, restarts it with -resume/-rejoin, and the job
+// must still finish bit-identical to the serial reference with exit
+// status 0. A second run without a checkpoint directory must instead
+// propagate the crash as a non-zero exit with the child's stderr tail.
+func TestDprunSupervisorRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "dprun")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dprun")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/dprun: %v\n%s", err, out)
+	}
+
+	t.Run("recovers", func(t *testing.T) {
+		cmd := exec.Command(bin, "-problem", "bandit2", "-distributed", "-launch", "2", "-threads", "2",
+			"-ckpt-dir", t.TempDir(), "-ckpt-every", "8", "-kill-rank", "1", "-crash-after-tiles", "20",
+			"-stats", "-check")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("supervised recovery run: %v\n%s", err, out)
+		}
+		text := string(out)
+		for _, want := range []string{"OK (bit-identical)", "recovered after", "injected crash after 20 tiles"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("output lacks %q:\n%s", want, text)
+			}
+		}
+	})
+
+	t.Run("propagates-failure", func(t *testing.T) {
+		cmd := exec.Command(bin, "-problem", "bandit2", "-distributed", "-launch", "2", "-threads", "2",
+			"-kill-rank", "1", "-crash-after-tiles", "20")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("unrecoverable crash exited 0:\n%s", out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run failed to start: %v", err)
+		}
+		if code := ee.ExitCode(); code == 0 {
+			t.Errorf("exit code = %d, want non-zero", code)
+		}
+		text := string(out)
+		for _, want := range []string{"supervisor: rank 1 failed", "injected crash after 20 tiles"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("output lacks %q:\n%s", want, text)
+			}
+		}
+	})
+}

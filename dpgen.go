@@ -101,9 +101,18 @@ type Problem = problems.Problem
 type Transport = mpi.Transport
 
 // TCPOptions configures a DialTCP endpoint: buffer counts, dial
-// retry/backoff and timeouts. The zero value selects sensible
-// defaults.
+// retry/backoff and timeouts, and the Recovery fault-tolerance
+// protocol. The zero value selects sensible defaults.
 type TCPOptions = tcp.Options
+
+// CheckpointConfig configures the engine's fault-tolerance checkpoints
+// (Config.Checkpoint). See docs/FAULT_TOLERANCE.md.
+type CheckpointConfig = engine.CheckpointConfig
+
+// PeerDownError is the typed error a recovery-enabled transport fails
+// with when a peer stays down past its timeout; it carries the dead
+// peer's rank.
+type PeerDownError = mpi.PeerDownError
 
 // GenOptions configures program generation.
 type GenOptions = codegen.Options
@@ -174,6 +183,21 @@ func RunProblem(p *Problem, params []int64, cfg Config) (*Result, error) {
 // Config.Transport; the run takes ownership and closes it.
 func DialTCP(rank int, peers []string, opts TCPOptions) (Transport, error) {
 	return tcp.Dial(rank, peers, opts)
+}
+
+// DialTCPRejoin reconnects a restarted rank into a live Recovery mesh:
+// it re-listens on peers[rank], identifies itself to every surviving
+// rank with a REJOIN frame, and receives their retained send histories.
+// Pair it with Config.Checkpoint.Resume to continue from the rank's
+// last checkpoint. See docs/FAULT_TOLERANCE.md.
+func DialTCPRejoin(rank int, peers []string, opts TCPOptions) (Transport, error) {
+	return tcp.DialRejoin(rank, peers, opts)
+}
+
+// CheckpointPath returns the checkpoint file rank writes inside dir
+// (dir/rank-<rank>.ckpt) when Config.Checkpoint is enabled.
+func CheckpointPath(dir string, rank int) string {
+	return engine.CheckpointPath(dir, rank)
 }
 
 // Generate emits a standalone hybrid Go program for the spec. The spec

@@ -1,0 +1,27 @@
+package dpfuzz
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKillRecoverBitIdentical pushes a handful of generated specs
+// through the fault-tolerance differential: rank 1 of a two-rank TCP
+// run is killed mid-execution and restarted with resume/rejoin, and
+// the recovered run must stay bit-identical to the independent serial
+// reference. Skipped in -short mode — each seed is a full crash,
+// heartbeat-detection, and replay cycle.
+func TestKillRecoverBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping crash-recovery soak in -short mode")
+	}
+	for _, seed := range []uint64{3, 7, 19} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckKillRecover(Generate(seed)); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}

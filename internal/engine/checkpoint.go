@@ -1,0 +1,424 @@
+// Fault-tolerance checkpoints: the on-disk snapshot a rank writes
+// periodically (Config.Checkpoint) and restores from after a crash
+// (Checkpoint.Resume). A checkpoint records exactly the rank's durable
+// progress — the executed-tile set, the buffered dependence edges of
+// tiles still waiting or queued (the O(n^{d-1}) live state), and the
+// goal/max accumulators. It is encoded only while the transport reports
+// zero unacknowledged sends and the node lock is held, so every tile it
+// records as executed has had its outgoing edges received by their
+// consumers; a tile missing from the checkpoint simply re-executes and
+// re-sends on resume, and the receivers' duplicate-edge filter keeps
+// every cell computed exactly once. Correctness therefore never depends
+// on how fresh (or whether) a checkpoint file is.
+//
+// Format (little-endian, "DPCKPT1\n" magic, trailing FNV-1a checksum):
+//
+//	magic | rank nodes d nd | params | ownedTotal executed |
+//	flags goalVal maxVal | executedKeys | tiles{coords, edges{dep,data}} |
+//	fnv1a(everything above)
+
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dpgen/internal/mpi"
+	"dpgen/internal/obs"
+)
+
+const ckptMagic = "DPCKPT1\n"
+
+// CheckpointPath returns the checkpoint file a rank writes inside dir:
+// dir/rank-<rank>.ckpt. dprun's supervisor uses it to point a restarted
+// rank at its own snapshot.
+func CheckpointPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank-%d.ckpt", rank))
+}
+
+// checkpoint is the decoded in-memory form of one rank's snapshot.
+type checkpoint struct {
+	rank, nodes, d, nd int
+	params             []int64
+	ownedTotal         int64
+	executed           int64
+	goalSet            bool
+	goalVal            float64
+	maxSet             bool
+	maxVal             float64
+	executedKeys       []uint64
+	tiles              []ckptTile
+}
+
+// ckptTile is one pending or started tile with its buffered edges.
+type ckptTile struct {
+	tile  []int64
+	edges []ckptEdge
+}
+
+// ckptEdge is one buffered dependence edge.
+type ckptEdge struct {
+	dep  int
+	data []float64
+}
+
+// encodeCheckpoint serializes the node's durable state. Both n.mu and
+// (briefly) the engine's goalMu are taken by the caller holding n.mu;
+// no code path acquires them in the reverse order.
+func (n *node) encodeCheckpoint() []byte {
+	e := n.eng
+	b := make([]byte, 0, 64+16*len(n.executedSet))
+	b = append(b, ckptMagic...)
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	i64 := func(v int64) { u64(uint64(v)) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	i64(int64(n.id))
+	i64(int64(e.cfg.Nodes))
+	d := len(e.tl.Spec.Vars)
+	i64(int64(d))
+	i64(int64(len(e.tl.Spec.Deps)))
+	i64(int64(len(e.params)))
+	for _, p := range e.params {
+		i64(p)
+	}
+	i64(n.ownedTotal)
+	i64(n.executed)
+
+	e.goalMu.Lock()
+	var flags uint64
+	if e.goalSet {
+		flags |= 1
+	}
+	if e.maxSet {
+		flags |= 2
+	}
+	goalVal, maxVal := e.goalVal, e.maxVal
+	e.goalMu.Unlock()
+	u64(flags)
+	f64(goalVal)
+	f64(maxVal)
+
+	i64(int64(len(n.executedSet)))
+	for k := range n.executedSet {
+		u64(k)
+	}
+
+	// Buffered edges live on pending tiles (some dependences missing)
+	// and started tiles (complete, but not yet unpacked and executed).
+	ntiles := 0
+	for _, p := range n.pending {
+		if len(p.edges) > 0 {
+			ntiles++
+		}
+	}
+	for _, p := range n.started {
+		if len(p.edges) > 0 {
+			ntiles++
+		}
+	}
+	i64(int64(ntiles))
+	emit := func(p *pendTile) {
+		if len(p.edges) == 0 {
+			return
+		}
+		for _, c := range p.tile {
+			i64(c)
+		}
+		i64(int64(len(p.edges)))
+		for _, ed := range p.edges {
+			i64(int64(ed.dep))
+			i64(int64(len(ed.data)))
+			for _, v := range ed.data {
+				f64(v)
+			}
+		}
+	}
+	for _, p := range n.pending {
+		emit(p)
+	}
+	for _, p := range n.started {
+		emit(p)
+	}
+
+	h := fnv.New64a()
+	h.Write(b)
+	u64(h.Sum64())
+	return b
+}
+
+// writeCheckpointFile writes the blob atomically: temp file in the same
+// directory, fsync, rename over the final path. A crash mid-write
+// leaves the previous checkpoint intact.
+func writeCheckpointFile(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// ckptReader is a bounds-checked cursor over an encoded checkpoint.
+type ckptReader struct {
+	b   []byte
+	err error
+}
+
+func (r *ckptReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = fmt.Errorf("engine: truncated checkpoint")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *ckptReader) i64() int64   { return int64(r.u64()) }
+func (r *ckptReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *ckptReader) count() (int, bool) {
+	v := r.i64()
+	if r.err == nil && (v < 0 || v > int64(len(r.b))) {
+		r.err = fmt.Errorf("engine: corrupt checkpoint count %d", v)
+	}
+	return int(v), r.err == nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file. A missing
+// file is not an error: it returns (nil, nil) and the rank resumes from
+// scratch (peers redeliver everything it needs).
+func loadCheckpoint(path string) (*checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < len(ckptMagic)+8 || string(blob[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("engine: %s is not a checkpoint file", path)
+	}
+	body, sum := blob[:len(blob)-8], binary.LittleEndian.Uint64(blob[len(blob)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("engine: checkpoint %s failed its checksum", path)
+	}
+	r := &ckptReader{b: body[len(ckptMagic):]}
+	ck := &checkpoint{
+		rank:  int(r.i64()),
+		nodes: int(r.i64()),
+		d:     int(r.i64()),
+		nd:    int(r.i64()),
+	}
+	if np, ok := r.count(); ok {
+		ck.params = make([]int64, np)
+		for i := range ck.params {
+			ck.params[i] = r.i64()
+		}
+	}
+	ck.ownedTotal = r.i64()
+	ck.executed = r.i64()
+	flags := r.u64()
+	ck.goalSet = flags&1 != 0
+	ck.goalVal = r.f64()
+	ck.maxSet = flags&2 != 0
+	ck.maxVal = r.f64()
+	if nk, ok := r.count(); ok {
+		ck.executedKeys = make([]uint64, nk)
+		for i := range ck.executedKeys {
+			ck.executedKeys[i] = r.u64()
+		}
+	}
+	if nt, ok := r.count(); ok {
+		ck.tiles = make([]ckptTile, 0, nt)
+		for i := 0; i < nt && r.err == nil; i++ {
+			t := ckptTile{tile: make([]int64, ck.d)}
+			for k := range t.tile {
+				t.tile[k] = r.i64()
+			}
+			ne, _ := r.count()
+			for j := 0; j < ne && r.err == nil; j++ {
+				ed := ckptEdge{dep: int(r.i64())}
+				nv, _ := r.count()
+				ed.data = make([]float64, nv)
+				for v := range ed.data {
+					ed.data[v] = r.f64()
+				}
+				t.edges = append(t.edges, ed)
+			}
+			ck.tiles = append(ck.tiles, t)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("engine: decode %s: %w", path, r.err)
+	}
+	return ck, nil
+}
+
+// loadResume reads the node's checkpoint (if any), validates it against
+// this run's configuration, and restores the executed-tile set and the
+// goal/max accumulators. The buffered edges are replayed later, by
+// replayCheckpoint, once the ready queues are seeded.
+func (n *node) loadResume() error {
+	e := n.eng
+	ck, err := loadCheckpoint(n.ckptPath)
+	if err != nil || ck == nil {
+		return err
+	}
+	switch {
+	case ck.rank != n.id:
+		err = fmt.Errorf("rank %d, want %d", ck.rank, n.id)
+	case ck.nodes != e.cfg.Nodes:
+		err = fmt.Errorf("%d ranks, want %d", ck.nodes, e.cfg.Nodes)
+	case ck.d != len(e.tl.Spec.Vars) || ck.nd != len(e.tl.Spec.Deps):
+		err = fmt.Errorf("%d vars/%d deps, want %d/%d",
+			ck.d, ck.nd, len(e.tl.Spec.Vars), len(e.tl.Spec.Deps))
+	case len(ck.params) != len(e.params) || !sameTile(ck.params, e.params):
+		err = fmt.Errorf("params %v, want %v", ck.params, e.params)
+	case ck.ownedTotal != n.ownedTotal:
+		err = fmt.Errorf("%d owned tiles, want %d", ck.ownedTotal, n.ownedTotal)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint %s is from a different run (%w)", n.ckptPath, err)
+	}
+	for _, k := range ck.executedKeys {
+		n.executedSet[k] = struct{}{}
+	}
+	n.executed = ck.executed
+	e.goalMu.Lock()
+	if ck.goalSet {
+		e.goalVal = ck.goalVal
+		e.goalSet = true
+	}
+	if ck.maxSet && (!e.maxSet || ck.maxVal > e.maxVal) {
+		e.maxVal = ck.maxVal
+		e.maxSet = true
+	}
+	e.goalMu.Unlock()
+	n.resumeCk = ck
+	return nil
+}
+
+// replayCheckpoint re-delivers the checkpoint's buffered edges into the
+// pending table, rebuilding each stored tile's dependence state exactly
+// as it was: edges from producers this rank already executed arrive
+// only here (those producers will not re-run), while edges from
+// not-yet-executed producers arrive again later and are dropped by the
+// duplicate filter. Runs on the seeding goroutine, before workers start.
+func (n *node) replayCheckpoint(lane *obs.Lane) {
+	ck := n.resumeCk
+	var t0 int64
+	if lane != nil {
+		t0 = lane.Now()
+	}
+	ds := newDelivState(n.eng)
+	var edges int64
+	for _, t := range ck.tiles {
+		for _, ed := range t.edges {
+			data := mpi.GetData(len(ed.data))
+			copy(data, ed.data)
+			n.deliver(t.tile, ed.dep, data, false, lane, ds)
+			edges++
+		}
+	}
+	if lane != nil {
+		lane.Span(obs.KRecover, "", -1, edges, t0)
+	}
+}
+
+// quiescer is the optional transport facet the checkpointer consults:
+// zero pending (unacknowledged) sends means every issued edge has been
+// received, which is what makes the executed-tile frontier durable.
+// Transports without the method (the in-memory communicator, whose
+// deliveries are synchronous) are always quiescent.
+type quiescer interface {
+	PendingSends() int
+}
+
+// checkpointer is the per-node background loop that writes due
+// checkpoints. It exists so waiting for transport quiescence happens
+// off the worker hot path: a tile's completion instant almost always
+// has that tile's own sends still unacknowledged, so an inline check at
+// completion would nearly always skip on sender-heavy ranks. Polling at
+// a millisecond cadence instead catches the short quiescent windows
+// between send bursts. The loop exits after the node is marked done,
+// with one final attempt so the on-disk snapshot reflects the finished
+// frontier.
+func (n *node) checkpointer(lane *obs.Lane) {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		n.mu.Lock()
+		done := n.done
+		due := n.ckptDue && !n.crashed
+		n.mu.Unlock()
+		if due {
+			n.maybeCheckpoint(lane)
+		}
+		if done {
+			return
+		}
+		<-tick.C
+	}
+}
+
+// maybeCheckpoint writes a checkpoint if one is due (ckptEvery executed
+// tiles elapsed) and the transport is quiescent. Encoding happens under
+// the node lock; the file write does not. A failed or skipped write
+// just leaves the checkpoint due — the checkpointer retries.
+func (n *node) maybeCheckpoint(lane *obs.Lane) {
+	n.mu.Lock()
+	if !n.ckptDue || n.ckptBusy || n.crashed {
+		n.mu.Unlock()
+		return
+	}
+	if q, ok := n.rank.(quiescer); ok && q.PendingSends() != 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.ckptBusy = true
+	n.ckptDue = false
+	var t0 int64
+	if lane != nil {
+		t0 = lane.Now()
+	}
+	blob := n.encodeCheckpoint()
+	n.mu.Unlock()
+
+	err := writeCheckpointFile(n.ckptPath, blob)
+	n.mu.Lock()
+	n.ckptBusy = false
+	if err == nil {
+		n.st.Checkpoints++
+		n.st.CheckpointBytes += int64(len(blob))
+	} else {
+		n.ckptDue = true
+	}
+	n.mu.Unlock()
+	if err == nil && lane != nil {
+		lane.Span(obs.KCheckpoint, "", -1, int64(len(blob)), t0)
+	}
+}

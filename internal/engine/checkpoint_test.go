@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// encodeTestCheckpoint builds a checkpoint blob for the given decoded
+// form, independently of encodeCheckpoint, so the decoder is tested
+// against the documented format rather than against the encoder.
+func encodeTestCheckpoint(ck *checkpoint) []byte {
+	b := []byte(ckptMagic)
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	i64 := func(v int64) { u64(uint64(v)) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	i64(int64(ck.rank))
+	i64(int64(ck.nodes))
+	i64(int64(ck.d))
+	i64(int64(ck.nd))
+	i64(int64(len(ck.params)))
+	for _, p := range ck.params {
+		i64(p)
+	}
+	i64(ck.ownedTotal)
+	i64(ck.executed)
+	var flags uint64
+	if ck.goalSet {
+		flags |= 1
+	}
+	if ck.maxSet {
+		flags |= 2
+	}
+	u64(flags)
+	f64(ck.goalVal)
+	f64(ck.maxVal)
+	i64(int64(len(ck.executedKeys)))
+	for _, k := range ck.executedKeys {
+		u64(k)
+	}
+	i64(int64(len(ck.tiles)))
+	for _, t := range ck.tiles {
+		for _, c := range t.tile {
+			i64(c)
+		}
+		i64(int64(len(t.edges)))
+		for _, ed := range t.edges {
+			i64(int64(ed.dep))
+			i64(int64(len(ed.data)))
+			for _, v := range ed.data {
+				f64(v)
+			}
+		}
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	u64(h.Sum64())
+	return b
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	want := &checkpoint{
+		rank: 1, nodes: 2, d: 2, nd: 3,
+		params:       []int64{64, 64},
+		ownedTotal:   40,
+		executed:     17,
+		goalSet:      true,
+		goalVal:      3.25,
+		maxSet:       true,
+		maxVal:       9.5,
+		executedKeys: []uint64{7, 11, 42},
+		tiles: []ckptTile{
+			{tile: []int64{3, 5}, edges: []ckptEdge{
+				{dep: 0, data: []float64{1, 2.5}},
+				{dep: 2, data: []float64{-4}},
+			}},
+			{tile: []int64{0, 9}, edges: []ckptEdge{
+				{dep: 1, data: []float64{0.125, 8, 16}},
+			}},
+		},
+	}
+	path := CheckpointPath(t.TempDir(), want.rank)
+	if err := writeCheckpointFile(path, encodeTestCheckpoint(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.rank != want.rank || got.nodes != want.nodes || got.d != want.d || got.nd != want.nd ||
+		got.ownedTotal != want.ownedTotal || got.executed != want.executed ||
+		got.goalSet != want.goalSet || got.goalVal != want.goalVal ||
+		got.maxSet != want.maxSet || got.maxVal != want.maxVal {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.params) != 2 || got.params[0] != 64 || got.params[1] != 64 {
+		t.Errorf("params = %v", got.params)
+	}
+	if len(got.executedKeys) != 3 || got.executedKeys[2] != 42 {
+		t.Errorf("executedKeys = %v", got.executedKeys)
+	}
+	if len(got.tiles) != 2 {
+		t.Fatalf("tiles = %d, want 2", len(got.tiles))
+	}
+	t0 := got.tiles[0]
+	if t0.tile[0] != 3 || t0.tile[1] != 5 || len(t0.edges) != 2 ||
+		t0.edges[0].dep != 0 || t0.edges[0].data[1] != 2.5 ||
+		t0.edges[1].dep != 2 || t0.edges[1].data[0] != -4 {
+		t.Errorf("tile 0 = %+v", t0)
+	}
+	if got.tiles[1].edges[0].data[2] != 16 {
+		t.Errorf("tile 1 = %+v", got.tiles[1])
+	}
+
+	// The atomic write must not leave its temp file behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Errorf("stray temp file %s after writeCheckpointFile", e.Name())
+		}
+	}
+}
+
+// TestCheckpointMissingFile: a rank with no snapshot resumes from
+// scratch, so a missing file is (nil, nil), not an error.
+func TestCheckpointMissingFile(t *testing.T) {
+	ck, err := loadCheckpoint(CheckpointPath(t.TempDir(), 0))
+	if ck != nil || err != nil {
+		t.Fatalf("missing checkpoint = (%v, %v), want (nil, nil)", ck, err)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	blob := encodeTestCheckpoint(&checkpoint{rank: 0, nodes: 1, d: 1, nd: 1, params: []int64{8}})
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		errPart string
+	}{
+		{"bad-magic", func(b []byte) []byte { b[0] = 'X'; return b }, "not a checkpoint"},
+		{"flipped-bit", func(b []byte) []byte { b[len(ckptMagic)+3] ^= 0x40; return b }, "checksum"},
+		{"truncated-tail", func(b []byte) []byte { return b[:len(b)-9] }, "checksum"},
+		{"too-short", func(b []byte) []byte { return b[:4] }, "not a checkpoint"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".ckpt")
+			mutated := tc.mutate(append([]byte(nil), blob...))
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ck, err := loadCheckpoint(path)
+			if err == nil {
+				t.Fatalf("corrupt checkpoint decoded: %+v", ck)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q lacks %q", err, tc.errPart)
+			}
+		})
+	}
+
+	// An absurd element count inside a checksummed body must still be
+	// rejected by the bounds-checked reader, not crash the decoder.
+	evil := []byte(ckptMagic)
+	for i := 0; i < 4; i++ {
+		evil = binary.LittleEndian.AppendUint64(evil, 0)
+	}
+	evil = binary.LittleEndian.AppendUint64(evil, 1<<40) // params count
+	h := fnv.New64a()
+	h.Write(evil)
+	evil = binary.LittleEndian.AppendUint64(evil, h.Sum64())
+	path := filepath.Join(dir, "evil-count.ckpt")
+	if err := os.WriteFile(path, evil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ck, err := loadCheckpoint(path); err == nil {
+		t.Fatalf("oversized count decoded: %+v", ck)
+	}
+}

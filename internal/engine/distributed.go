@@ -25,9 +25,9 @@ type mergedResult struct {
 // awaitLocal waits for the local rank to finish its owned tiles while
 // watching the transport for failure, so peer death aborts the run
 // instead of stalling it forever on edges that will never arrive. On a
-// transport error the waiter goroutine is abandoned mid-Wait — the
-// error path is process-fatal for the run, so the leak is bounded and
-// harmless.
+// transport error the waiter goroutine stays blocked in Wait until
+// Run's teardown force-finishes the aborted nodes, at which point it
+// exits — no goroutine outlives Run.
 func (e *engine) awaitLocal(tr mpi.Transport) error {
 	done := make(chan struct{})
 	go func() {

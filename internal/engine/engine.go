@@ -87,6 +87,47 @@ type Config struct {
 	// see dpgen/internal/obs. Nil costs one pointer check per event
 	// site. A tracer must not be reused across runs.
 	Tracer *obs.Tracer
+	// Checkpoint enables the fault-tolerance layer: periodic per-rank
+	// checkpoints of the completed-tile frontier and buffered edges,
+	// plus the duplicate-edge filtering that makes a restarted peer's
+	// replayed traffic safe. Every rank of a recovery-enabled job (tcp
+	// Options.Recovery) must set it. See docs/FAULT_TOLERANCE.md.
+	Checkpoint CheckpointConfig
+	// CrashAfterTiles, if positive, invokes CrashFn once after this
+	// rank has executed that many tiles — the deterministic
+	// fault-injection hook behind the recovery tests and dprun's
+	// -crash-after-tiles flag. Checkpoint writes stop once the crash
+	// fires, so the surviving checkpoint reflects a pre-crash frontier.
+	CrashAfterTiles int64
+	// CrashFn is the crash action for CrashAfterTiles: an os.Exit
+	// wrapper in real processes, a transport Kill in in-process tests.
+	// Required when CrashAfterTiles is positive.
+	CrashFn func()
+}
+
+// CheckpointConfig configures the engine's fault-tolerance checkpoints
+// (Config.Checkpoint). The checkpoint holds the rank's executed-tile
+// set, its buffered dependence edges (the O(n^{d-1}) live state), and
+// the goal/max accumulators; it is written only when the transport
+// reports no unacknowledged sends, which guarantees every recorded
+// tile's outgoing edges were received by their consumers. Correctness
+// never depends on checkpoint recency — a missing or stale checkpoint
+// only means more tiles are recomputed on resume.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; empty disables the
+	// fault-tolerance layer. Each rank writes Dir/rank-<id>.ckpt
+	// atomically (temp file + rename).
+	Dir string
+	// EveryTiles is the checkpoint cadence in executed tiles
+	// (default 64 when Dir is set).
+	EveryTiles int64
+	// Resume restores the rank's state from Dir/rank-<id>.ckpt before
+	// the run starts: recorded tiles are not re-executed, recorded
+	// edges are replayed into the pending table, and everything else is
+	// recomputed — remote edges lost with the crashed process arrive
+	// again from the peers' retained send histories (tcp.DialRejoin).
+	// A missing checkpoint file resumes from scratch.
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueGroups > c.Threads {
 		c.QueueGroups = c.Threads
+	}
+	if c.Checkpoint.Dir != "" && c.Checkpoint.EveryTiles <= 0 {
+		c.Checkpoint.EveryTiles = 64
 	}
 	return c
 }
@@ -137,6 +181,19 @@ type NodeStats struct {
 	// Steals counts tiles taken from another queue group (only nonzero
 	// with Config.QueueGroups > 1).
 	Steals int64
+	// EdgesDroppedDup counts duplicate edges dropped by the
+	// fault-tolerance deduplication layer — replayed traffic after a
+	// peer restart, or a resumed rank's own recomputed sends.
+	EdgesDroppedDup int64
+	// Checkpoints and CheckpointBytes count fault-tolerance checkpoint
+	// writes and their total encoded size.
+	Checkpoints     int64
+	CheckpointBytes int64
+	// HeartbeatMisses and PeerRestarts are the transport's recovery
+	// counters (tcp.Transport.RecoveryStats), sampled after the run's
+	// result merge; only the local rank's entry is populated.
+	HeartbeatMisses int64
+	PeerRestarts    int64
 }
 
 // Result is the outcome of a run.
@@ -209,6 +266,17 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	if !tl.Spec.System().Contains(goalVals) {
 		return nil, fmt.Errorf("engine: goal %v outside the iteration space for params %v", goal, params)
 	}
+	ft := cfg.Checkpoint.Dir != ""
+	if cfg.Checkpoint.Resume && !ft {
+		return nil, fmt.Errorf("engine: Checkpoint.Resume requires Checkpoint.Dir")
+	}
+	if ft && len(tl.Spec.Deps) > 64 {
+		return nil, fmt.Errorf("engine: fault tolerance supports at most 64 template dependences, spec has %d",
+			len(tl.Spec.Deps))
+	}
+	if cfg.CrashAfterTiles > 0 && cfg.CrashFn == nil {
+		return nil, fmt.Errorf("engine: CrashAfterTiles requires CrashFn")
+	}
 
 	start := time.Now()
 	assign, err := balance.Build(tl, params, cfg.Nodes, cfg.Balance)
@@ -275,10 +343,25 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("engine: no initial tiles — the dependence graph is cyclic or the space is empty")
 	}
+	if cfg.Checkpoint.Resume {
+		for _, n := range nodes {
+			if err := n.loadResume(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	for _, t := range initial {
 		n := nodeByRank[assign.Owner(t)]
 		if n == nil {
 			continue
+		}
+		var ik uint64
+		if n.ft {
+			// A resumed rank's already-executed seed tiles are not re-run.
+			ik = e.intKey(t)
+			if _, done := n.executedSet[ik]; done {
+				continue
+			}
 		}
 		p := &pendTile{
 			tile: append([]int64(nil), t...),
@@ -290,8 +373,20 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		p.level = -sum64(p.key)
 		p.group = n.groupOf(p.tile)
 		n.ready[p.group].push(p)
+		if n.ft {
+			n.started[ik] = p
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.Lane(n.id, laneInit(cfg), "init").Instant(obs.KReady, obs.TileID(t), -1, 0)
+		}
+	}
+	for _, n := range nodes {
+		if n.resumeCk != nil {
+			var lane *obs.Lane
+			if cfg.Tracer != nil {
+				lane = cfg.Tracer.Lane(n.id, laneInit(cfg), "init")
+			}
+			n.replayCheckpoint(lane)
 		}
 	}
 	initTime := time.Since(initStart)
@@ -313,6 +408,17 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 					lane = cfg.Tracer.Lane(n.id, cfg.Threads, "recv")
 				}
 				n.receiver(lane)
+			}(n)
+		}
+		if n.ft {
+			receivers.Add(1)
+			go func(n *node) {
+				defer receivers.Done()
+				var lane *obs.Lane
+				if cfg.Tracer != nil {
+					lane = cfg.Tracer.Lane(n.id, laneInit(cfg)+1, "ckpt")
+				}
+				n.checkpointer(lane)
 			}(n)
 		}
 		for w := 0; w < cfg.Threads; w++ {
@@ -345,6 +451,18 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		if runErr = e.awaitLocal(tr); runErr == nil {
 			merged, runErr = e.mergeDistributed(tr)
 		}
+		if rs, ok := tr.(interface{ RecoveryStats() (int64, int64) }); ok {
+			hb, pr := rs.RecoveryStats()
+			n := nodes[0]
+			n.mu.Lock()
+			n.st.HeartbeatMisses, n.st.PeerRestarts = hb, pr
+			n.mu.Unlock()
+			if cfg.Tracer != nil && (hb > 0 || pr > 0) {
+				lane := cfg.Tracer.Lane(n.id, laneInit(cfg), "init")
+				lane.Instant(obs.KHeartbeatMiss, "", -1, hb)
+				lane.Instant(obs.KPeerRestart, "", -1, pr)
+			}
+		}
 		tr.Close()
 	} else {
 		e.finished.Wait()
@@ -361,6 +479,12 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	workers.Wait()
 	receivers.Wait()
 	if runErr != nil {
+		// Nodes that never finished (the aborted run's whole point)
+		// force their Done so the awaitLocal waiter blocked in
+		// finished.Wait exits instead of leaking.
+		for _, n := range nodes {
+			n.finishOnce.Do(e.finished.Done)
+		}
 		return nil, fmt.Errorf("engine: distributed run failed: %w", runErr)
 	}
 
@@ -471,6 +595,22 @@ type node struct {
 	executed   int64
 	finishOnce sync.Once
 
+	// Fault-tolerance state (Config.Checkpoint; all guarded by mu).
+	// executedSet records every executed owned tile's intKey for
+	// duplicate-edge filtering and checkpointing; started holds tiles
+	// whose dependences are complete (queued or executing) so their
+	// still-held edges stay checkpointable until the executed mark.
+	ft          bool
+	executedSet map[uint64]struct{}
+	started     map[uint64]*pendTile
+	ckptPath    string
+	ckptEvery   int64
+	ckptDue     bool
+	ckptBusy    bool
+	crashAt     int64
+	crashed     bool
+	resumeCk    *checkpoint
+
 	// Edge-memory accounting is atomic so deliver and execTile touch it
 	// without the node lock.
 	pendingEdges      atomic.Int64
@@ -495,6 +635,14 @@ func newNode(e *engine, id int, rank mpi.Transport) *node {
 		n.ready[i] = tileHeap{prio: e.cfg.Priority}
 		n.conds[i] = sync.NewCond(&n.mu)
 	}
+	if e.cfg.Checkpoint.Dir != "" {
+		n.ft = true
+		n.executedSet = make(map[uint64]struct{})
+		n.started = make(map[uint64]*pendTile)
+		n.ckptPath = CheckpointPath(e.cfg.Checkpoint.Dir, id)
+		n.ckptEvery = e.cfg.Checkpoint.EveryTiles
+	}
+	n.crashAt = e.cfg.CrashAfterTiles
 	return n
 }
 
@@ -662,6 +810,7 @@ func (n *node) prepTile(ds *delivState, consumer []int64) *pendTile {
 	}
 	copy(p.tile, consumer)
 	p.remaining = ds.probe.DepCount(p.tile)
+	p.got = 0
 	e.makeKey(p.tile, p.key)
 	p.level = -sum64(p.key)
 	p.group = n.groupOf(p.tile)
@@ -692,6 +841,26 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 
 	k := e.intKey(consumer)
 	n.mu.Lock()
+	if n.ft {
+		// Duplicate-edge filter: after a peer restart its replayed
+		// history re-delivers edges this rank already applied. A tile
+		// that executed, or whose dependences are already complete
+		// (started), or that already received this dependence (got bit)
+		// drops the copy — each cell stays computed exactly once from
+		// determined inputs, so recovery preserves bit-identity.
+		_, executed := n.executedSet[k]
+		if !executed {
+			_, executed = n.started[k]
+		}
+		if executed {
+			n.st.EdgesDroppedDup++
+			n.mu.Unlock()
+			n.pendingEdges.Add(-1)
+			n.bufferedElems.Add(-int64(len(data)))
+			mpi.PutData(data)
+			return
+		}
+	}
 	p := n.pending[k]
 	if p == nil {
 		// First edge for this tile. The entry needs polytope work
@@ -708,6 +877,17 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 			ds.spare = prep
 		}
 	}
+	if n.ft {
+		if p.got&(1<<uint(dep)) != 0 {
+			n.st.EdgesDroppedDup++
+			n.mu.Unlock()
+			n.pendingEdges.Add(-1)
+			n.bufferedElems.Add(-int64(len(data)))
+			mpi.PutData(data)
+			return
+		}
+		p.got |= 1 << uint(dep)
+	}
 	if remote {
 		n.st.EdgesRecvRemote++
 	} else {
@@ -720,6 +900,9 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 	}
 	if p.remaining == 0 {
 		delete(n.pending, k)
+		if n.ft {
+			n.started[k] = p
+		}
 		p.seq = n.seq
 		n.seq++
 		n.ready[p.group].push(p)
@@ -823,15 +1006,21 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 			}
 		}
 		freedElems += int64(len(ed.data))
-		// Edge storage returns to the shared pool once unpacked.
-		mpi.PutData(ed.data)
+		// Edge storage returns to the shared pool once unpacked — except
+		// in fault-tolerance mode, where the edges stay attached (and
+		// checkpointable) until the tile's executed mark below.
+		if !n.ft {
+			mpi.PutData(ed.data)
+		}
 	}
 	n.pendingEdges.Add(-int64(len(p.edges)))
 	n.bufferedElems.Add(-freedElems)
-	for i := range p.edges {
-		p.edges[i] = edge{}
+	if !n.ft {
+		for i := range p.edges {
+			p.edges[i] = edge{}
+		}
+		p.edges = p.edges[:0]
 	}
-	p.edges = p.edges[:0]
 	if lane != nil {
 		lane.Span(obs.KUnpack, tid, -1, 0, t0)
 		t0 = lane.Now()
@@ -955,14 +1144,37 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	}
 
 	// One batched stats update per tile.
+	var crash bool
 	n.mu.Lock()
 	n.st.TilesExecuted++
 	n.st.CellsComputed += cells
 	n.st.EdgesSentRemote += sentRemote
 	n.st.SendStallTime += stallSum
 	n.executed++
+	if n.ft {
+		// Executed mark: the tile's sends are issued, so it joins the
+		// dedup set and its retained edges finally return to the pool.
+		k := e.intKey(p.tile)
+		delete(n.started, k)
+		n.executedSet[k] = struct{}{}
+		for i := range p.edges {
+			mpi.PutData(p.edges[i].data)
+			p.edges[i] = edge{}
+		}
+		p.edges = p.edges[:0]
+		if n.ckptEvery > 0 && !n.crashed && n.executed%n.ckptEvery == 0 {
+			n.ckptDue = true
+		}
+	}
+	if n.crashAt > 0 && !n.crashed && n.executed >= n.crashAt {
+		n.crashed = true // no further checkpoints: the crash point is final
+		crash = true
+	}
 	finished := n.executed == n.ownedTotal
 	n.mu.Unlock()
+	if crash {
+		e.cfg.CrashFn()
+	}
 	// Sample the pending-edge curve (the Figure 4 quantity as a time
 	// series) at every tile completion.
 	if lane != nil {

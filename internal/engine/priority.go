@@ -45,6 +45,7 @@ type pendTile struct {
 	seq       int64   // arrival order, for FIFO and tie-breaking
 	index     int     // heap index
 	group     int     // ready-queue group (computed off-lock at insert)
+	got       uint64  // per-dep arrival bitmask for fault-tolerance dedup
 }
 
 type edge struct {

@@ -545,3 +545,134 @@ func TestTCPPeerDeath(t *testing.T) {
 		t.Error("AllReduce after peer death returned nil error")
 	}
 }
+
+// TestTCPKillRecover is the Recovery-mode counterpart of
+// TestTCPPeerDeath: rank 2 of a three-rank mesh dies abruptly mid-run,
+// the survivors keep sending (parked, never blocking), and a restarted
+// rank 2 rejoins the mesh. Every message — sent before or during the
+// outage — must arrive at least once through the retained-history
+// replay, and the collectives must work across the recovered mesh.
+func TestTCPKillRecover(t *testing.T) {
+	const size = 3
+	lns := make([]net.Listener, size)
+	peers := make([]string, size)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	ts := make([]*tcp.Transport, size)
+	errs := make([]error, size)
+	var dwg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		dwg.Add(1)
+		go func(r int) {
+			defer dwg.Done()
+			ts[r], errs[r] = tcp.Dial(r, peers, tcp.Options{
+				Recovery:    true,
+				SendBufs:    16,
+				RecvBufs:    32,
+				DialTimeout: 10 * time.Second,
+				Listener:    lns[r],
+			})
+		}(r)
+	}
+	dwg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+
+	// Healthy traffic from both survivors into rank 2.
+	for tag := 0; tag < 4; tag++ {
+		ts[0].Send(2, tag, []float64{float64(tag)}, nil)
+		ts[1].Send(2, 10+tag, []float64{float64(10 + tag)}, nil)
+	}
+	for i := 0; i < 4; i++ {
+		m, ok := ts[2].Recv()
+		if !ok {
+			t.Fatal("healthy recv failed")
+		}
+		m.Release()
+	}
+
+	ts[2].Kill()
+	time.Sleep(20 * time.Millisecond) // let the survivors' readers observe the death
+
+	// Sends to the dead rank park instead of blocking.
+	parkDone := make(chan struct{})
+	go func() {
+		defer close(parkDone)
+		for tag := 4; tag < 8; tag++ {
+			ts[0].Send(2, tag, []float64{float64(tag)}, nil)
+			ts[1].Send(2, 10+tag, []float64{float64(10 + tag)}, nil)
+		}
+	}()
+	select {
+	case <-parkDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sends to a dead peer blocked")
+	}
+
+	t2b, err := tcp.DialRejoin(2, peers, tcp.Options{SendBufs: 16, RecvBufs: 32, DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+
+	// Replay is at-least-once: pre-death messages come again. Count
+	// distinct (src, tag) pairs until all 16 have been seen.
+	type key struct{ src, tag int }
+	seen := make(map[key]bool)
+	for len(seen) < 16 {
+		m, ok := t2b.Recv()
+		if !ok {
+			t.Fatalf("recv after rejoin failed with %d/16 pairs seen", len(seen))
+		}
+		if m.Data[0] != float64(m.Tag) {
+			t.Fatalf("corrupted replayed message: %+v", m)
+		}
+		seen[key{m.Src, m.Tag}] = true
+		m.Release()
+	}
+	for r := 0; r < 2; r++ {
+		if _, restarts := ts[r].RecoveryStats(); restarts != 1 {
+			t.Errorf("rank %d peer restarts = %d, want 1", r, restarts)
+		}
+	}
+
+	// The recovered mesh must still agree on collectives.
+	alive := []*tcp.Transport{ts[0], ts[1], t2b}
+	sums := make([]float64, size)
+	var cwg sync.WaitGroup
+	for r, tr := range alive {
+		cwg.Add(1)
+		go func(r int, tr *tcp.Transport) {
+			defer cwg.Done()
+			if err := tr.Barrier(); err != nil {
+				t.Errorf("rank %d barrier after recovery: %v", r, err)
+				return
+			}
+			var err error
+			if sums[r], err = tr.AllReduce(float64(r+1), func(a, b float64) float64 { return a + b }); err != nil {
+				t.Errorf("rank %d allreduce after recovery: %v", r, err)
+			}
+		}(r, tr)
+	}
+	cwg.Wait()
+	for r, s := range sums {
+		if s != 6 {
+			t.Errorf("rank %d post-recovery allreduce = %v, want 6", r, s)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, tr := range alive {
+		wg.Add(1)
+		go func(tr *tcp.Transport) { defer wg.Done(); tr.Close() }(tr)
+	}
+	wg.Wait()
+}

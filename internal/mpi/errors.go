@@ -1,0 +1,25 @@
+package mpi
+
+import "fmt"
+
+// PeerDownError is the typed failure a transport reports when a
+// specific peer rank is dead or unreachable: the connection died before
+// a graceful BYE, or the peer missed enough heartbeats to be declared
+// gone. Callers that supervise recovery (cmd/dprun's -launch
+// supervisor, the fault-tolerance tests) unwrap it with errors.As to
+// learn which rank to restart.
+type PeerDownError struct {
+	// Rank is the peer declared dead.
+	Rank int
+	// Cause is the underlying error: the read/write failure or a
+	// heartbeat-timeout description.
+	Cause error
+}
+
+// Error formats the rank and cause.
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("peer rank %d down: %v", e.Rank, e.Cause)
+}
+
+// Unwrap returns the underlying cause.
+func (e *PeerDownError) Unwrap() error { return e.Cause }

@@ -23,12 +23,22 @@
 //     and only then tears the sockets down, bounded by
 //     Options.DrainTimeout.
 //   - Failure: a connection that dies before BYE marks the transport
-//     failed — Recv returns ok=false, Err reports the cause, and
-//     blocked collectives return errors instead of hanging.
+//     failed — Recv returns ok=false, Err reports the cause (a typed
+//     *mpi.PeerDownError for peer death), and blocked collectives
+//     return errors instead of hanging.
+//   - Recovery (Options.Recovery): peer death no longer fails the
+//     transport. The dead peer is marked down, DATA sends to it are
+//     parked, and every DATA send is retained so that when the peer's
+//     restarted process reconnects (DialRejoin + REJOIN frame) the
+//     full send history is replayed — the receiver's engine
+//     deduplicates. Heartbeat frames bound detection latency; a peer
+//     that stays down past Options.PeerDownTimeout fails the transport
+//     with *mpi.PeerDownError. See docs/FAULT_TOLERANCE.md.
 package tcp
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -44,14 +54,16 @@ import (
 
 // Frame kinds (the byte after the length prefix; docs/TRANSPORT.md).
 const (
-	kHello      = byte(1) // u32 dialer rank
-	kData       = byte(2) // u32 src | i64 tag | u32 nmeta | u32 ndata | meta | data
-	kAck        = byte(3) // empty: one send-buffer slot released
-	kBarrier    = byte(4) // u32 seq: barrier arrival, sent to rank 0
-	kBarrierRel = byte(5) // u32 seq: barrier release, sent by rank 0
-	kARVal      = byte(6) // u32 seq | u32 src | f64: all-reduce contribution
-	kARRes      = byte(7) // u32 seq | f64: all-reduce result
-	kBye        = byte(8) // empty: graceful end-of-stream
+	kHello      = byte(1)  // u32 dialer rank
+	kData       = byte(2)  // u32 src | i64 tag | u32 nmeta | u32 ndata | meta | data
+	kAck        = byte(3)  // empty: one send-buffer slot released
+	kBarrier    = byte(4)  // u32 seq: barrier arrival, sent to rank 0
+	kBarrierRel = byte(5)  // u32 seq: barrier release, sent by rank 0
+	kARVal      = byte(6)  // u32 seq | u32 src | f64: all-reduce contribution
+	kARRes      = byte(7)  // u32 seq | f64: all-reduce result
+	kBye        = byte(8)  // empty: graceful end-of-stream
+	kHeartbeat  = byte(9)  // empty: liveness probe (Options.Recovery)
+	kRejoin     = byte(10) // u32 rank: restarted rank reconnecting
 )
 
 // maxFrame bounds a frame's body length; larger lengths indicate a
@@ -100,6 +112,31 @@ type Options struct {
 	// delays short. A zero return delivers immediately. Control frames
 	// (ACK, barrier, all-reduce, BYE) are never delayed.
 	ChaosDelay func(src, tag int) time.Duration
+	// Recovery enables the fault-tolerance protocol: peer death marks
+	// the peer down instead of failing the transport, DATA sends are
+	// retained for replay, the listener keeps accepting REJOIN
+	// connections from restarted peers, and heartbeats bound failure
+	// detection. All ranks of a job must agree on this setting. See
+	// docs/FAULT_TOLERANCE.md.
+	Recovery bool
+	// HeartbeatEvery is the heartbeat send interval under Recovery
+	// (default 250ms).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many HeartbeatEvery intervals may pass
+	// without any frame from a peer before it is declared down
+	// (default 8). TCP read errors usually detect process death much
+	// sooner; heartbeats catch wedged-but-connected peers.
+	HeartbeatMisses int
+	// PeerDownTimeout bounds how long a down peer may stay down before
+	// the transport gives up and fails with *mpi.PeerDownError
+	// (default 2m). The dprun supervisor's restart budget should fit
+	// inside this window.
+	PeerDownTimeout time.Duration
+	// Context, if non-nil, cancels the endpoint: dial retries stop, and
+	// blocked sends, Recv, Barrier and AllReduce return promptly with
+	// the context's error once it is done. Ctrl-C handling in cmd/dprun
+	// wires os.Interrupt here.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +160,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = 10 * time.Second
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if o.HeartbeatMisses == 0 {
+		o.HeartbeatMisses = 8
+	}
+	if o.PeerDownTimeout == 0 {
+		o.PeerDownTimeout = 2 * time.Minute
 	}
 	return o
 }
@@ -158,6 +204,57 @@ func newPeerConn(peer int, c net.Conn) *peerConn {
 	return &peerConn{peer: peer, c: c, r: bufio.NewReaderSize(c, 1<<16)}
 }
 
+// peerState is the per-peer bookkeeping the Recovery protocol needs:
+// liveness tracking for heartbeat failure detection, the retained
+// DATA-frame history replayed when the peer rejoins, and the count of
+// unacknowledged sends on the current connection (whose send-buffer
+// slots must be returned when the peer dies, because their ACKs will
+// never arrive).
+type peerState struct {
+	lastHeard atomic.Int64 // unix nanos of the last frame from this peer
+
+	mu        sync.Mutex
+	down      bool
+	downSince time.Time
+	inflight  int      // unacked DATA sends on the current connection
+	retained  [][]byte // encoded DATA frames, replayed on rejoin
+}
+
+// conn returns the current connection to peer (nil at the self index,
+// or for a peer whose connection has not been established).
+func (t *Transport) conn(peer int) *peerConn {
+	t.connMu.RLock()
+	defer t.connMu.RUnlock()
+	return t.conns[peer]
+}
+
+// setConn installs a connection during mesh establishment.
+func (t *Transport) setConn(peer int, pc *peerConn) {
+	t.connMu.Lock()
+	t.conns[peer] = pc
+	t.connMu.Unlock()
+}
+
+// snapshotConns returns a copy of the connection table, so callers can
+// iterate it without holding connMu across network writes.
+func (t *Transport) snapshotConns() []*peerConn {
+	t.connMu.RLock()
+	defer t.connMu.RUnlock()
+	out := make([]*peerConn, len(t.conns))
+	copy(out, t.conns)
+	return out
+}
+
+// closeAllConns closes every current connection socket (used by Close,
+// Kill and context cancellation to unblock readers and writers).
+func (t *Transport) closeAllConns() {
+	for _, pc := range t.snapshotConns() {
+		if pc != nil {
+			pc.c.Close()
+		}
+	}
+}
+
 // Transport is one rank's endpoint of a TCP mesh; it implements
 // mpi.Transport. Create one with Dial; it is live for exactly one run.
 type Transport struct {
@@ -165,8 +262,10 @@ type Transport struct {
 	size int
 	opts Options
 
-	ln    net.Listener
-	conns []*peerConn // indexed by peer rank; nil at the self index
+	ln     net.Listener
+	connMu sync.RWMutex
+	conns  []*peerConn  // indexed by peer rank; nil at the self index
+	pstate []*peerState // per-peer recovery bookkeeping (always allocated)
 
 	inbox chan *mpi.Message
 	slots chan struct{}
@@ -184,6 +283,10 @@ type Transport struct {
 	closing  atomic.Bool
 
 	readers sync.WaitGroup
+	bg      sync.WaitGroup // heartbeat, rejoin-accept and context-watcher goroutines
+
+	hbMisses     atomic.Int64
+	peerRestarts atomic.Int64
 
 	seqMu sync.Mutex
 	seq   uint32
@@ -214,18 +317,7 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", rank, size)
 	}
 	o := opts.withDefaults()
-	t := &Transport{
-		rank:    rank,
-		size:    size,
-		opts:    o,
-		conns:   make([]*peerConn, size),
-		inbox:   make(chan *mpi.Message, o.RecvBufs),
-		slots:   make(chan struct{}, o.SendBufs),
-		stop:    make(chan struct{}),
-		coordCh: make(chan ctrl, 4*size),
-		relCh:   make(chan ctrl, 4),
-		allByes: make(chan struct{}),
-	}
+	t := newTransport(rank, size, o)
 	if size == 1 {
 		return t, nil
 	}
@@ -240,6 +332,23 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 	}
 	t.ln = ln
 	deadline := time.Now().Add(o.DialTimeout)
+
+	// Cancel mesh establishment promptly when the caller's context is
+	// done: fail the transport (dialPeer's backoff sleeps watch t.stop)
+	// and close the listener to unblock the accept side.
+	dialDone := make(chan struct{})
+	defer close(dialDone)
+	if ctx := o.Context; ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				t.fail(fmt.Errorf("tcp: rank %d: %w", rank, ctx.Err()))
+				ln.Close()
+			case <-dialDone:
+			case <-t.stop:
+			}
+		}()
+	}
 
 	// Higher ranks dial us; we dial lower ranks. One result per side.
 	nres := rank
@@ -267,9 +376,11 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 	var firstErr error
 	timeout := time.NewTimer(time.Until(deadline) + 2*time.Second)
 	defer timeout.Stop()
-	for got := 0; got < nres; got++ {
+	stopCh := t.stop
+	for got := 0; got < nres; {
 		select {
 		case err := <-errs:
+			got++
 			if err != nil && firstErr == nil {
 				firstErr = err
 				ln.Close() // unblock the accept loop
@@ -279,25 +390,84 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 				firstErr = fmt.Errorf("tcp: rank %d: mesh not established within %s", rank, o.DialTimeout)
 			}
 			ln.Close()
+		case <-stopCh:
+			// Context cancellation (or Kill) during mesh establishment.
+			if firstErr == nil {
+				firstErr = t.errOr()
+			}
+			ln.Close()
+			stopCh = nil // collect the remaining results without respinning
 		}
 	}
 	pending.Wait()
 	if firstErr != nil {
-		for _, pc := range t.conns {
-			if pc != nil {
-				pc.c.Close()
-			}
-		}
+		t.closeAllConns()
 		ln.Close()
 		return nil, firstErr
 	}
-	for _, pc := range t.conns {
+	for _, pc := range t.snapshotConns() {
 		if pc != nil {
 			t.readers.Add(1)
 			go t.reader(pc)
 		}
 	}
+	t.startBackground()
 	return t, nil
+}
+
+// newTransport builds the endpoint skeleton shared by Dial and
+// DialRejoin.
+func newTransport(rank, size int, o Options) *Transport {
+	t := &Transport{
+		rank:    rank,
+		size:    size,
+		opts:    o,
+		conns:   make([]*peerConn, size),
+		pstate:  make([]*peerState, size),
+		inbox:   make(chan *mpi.Message, o.RecvBufs),
+		slots:   make(chan struct{}, o.SendBufs),
+		stop:    make(chan struct{}),
+		coordCh: make(chan ctrl, 4*size),
+		relCh:   make(chan ctrl, 4),
+		allByes: make(chan struct{}),
+	}
+	for i := range t.pstate {
+		t.pstate[i] = &peerState{}
+	}
+	return t
+}
+
+// startBackground launches the post-mesh service goroutines: the
+// context watcher, and — under Recovery — the heartbeat prober and the
+// rejoin accept loop.
+func (t *Transport) startBackground() {
+	now := time.Now().UnixNano()
+	for i, ps := range t.pstate {
+		if i != t.rank {
+			ps.lastHeard.Store(now)
+		}
+	}
+	if ctx := t.opts.Context; ctx != nil {
+		t.bg.Add(1)
+		go func() {
+			defer t.bg.Done()
+			select {
+			case <-ctx.Done():
+				t.fail(fmt.Errorf("tcp: rank %d: %w", t.rank, ctx.Err()))
+				// Unblock readers (stuck in ReadFull) and writers.
+				if t.ln != nil {
+					t.ln.Close()
+				}
+				t.closeAllConns()
+			case <-t.stop:
+			}
+		}()
+	}
+	if t.opts.Recovery {
+		t.bg.Add(2)
+		go t.heartbeatLoop()
+		go t.acceptLoop()
+	}
 }
 
 // acceptPeers accepts and handshakes the connections from all higher
@@ -309,35 +479,46 @@ func (t *Transport) acceptPeers(n int, deadline time.Time) error {
 			return fmt.Errorf("tcp: rank %d accept: %w", t.rank, err)
 		}
 		c.SetReadDeadline(deadline)
-		peer, err := readHello(c)
-		if err != nil {
+		kind, peer, err := readIdent(c)
+		if err != nil || kind != kHello {
 			c.Close()
-			return fmt.Errorf("tcp: rank %d handshake: %w", t.rank, err)
+			return fmt.Errorf("tcp: rank %d handshake: %v", t.rank, err)
 		}
-		if peer <= t.rank || peer >= t.size || t.conns[peer] != nil {
+		if peer <= t.rank || peer >= t.size || t.conn(peer) != nil {
 			c.Close()
 			return fmt.Errorf("tcp: rank %d: unexpected hello from rank %d", t.rank, peer)
 		}
 		c.SetReadDeadline(time.Time{})
-		t.conns[peer] = newPeerConn(peer, c)
+		t.setConn(peer, newPeerConn(peer, c))
 	}
 	return nil
 }
 
-// dialPeer connects to a lower rank, retrying with exponential backoff
-// until the deadline.
+// dialPeer connects to a lower rank during mesh establishment.
 func (t *Transport) dialPeer(s int, addr string, deadline time.Time) error {
+	return t.dialPeerIdent(s, addr, deadline, kHello)
+}
+
+// dialPeerIdent connects to rank s, retrying with exponential backoff
+// until the deadline, and opens the stream with the given identity
+// frame (HELLO during mesh establishment, REJOIN when a restarted rank
+// reconnects). A transport stop (context cancellation, Kill) aborts the
+// backoff wait promptly.
+func (t *Transport) dialPeerIdent(s int, addr string, deadline time.Time, kind byte) error {
 	backoff := t.opts.RetryBase
 	for attempt := 0; ; attempt++ {
 		c, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
-			if werr := writeHello(c, t.rank); werr == nil {
-				t.conns[s] = newPeerConn(s, c)
+			if werr := writeIdent(c, kind, t.rank); werr == nil {
+				t.setConn(s, newPeerConn(s, c))
 				return nil
 			} else {
 				err = werr
 				c.Close()
 			}
+		}
+		if t.stopped() {
+			return fmt.Errorf("tcp: rank %d dial rank %d (%s): %w", t.rank, s, addr, t.errOr())
 		}
 		if time.Now().Add(backoff).After(deadline) {
 			return fmt.Errorf("tcp: rank %d dial rank %d (%s) after %d attempts: %w",
@@ -345,7 +526,13 @@ func (t *Transport) dialPeer(s int, addr string, deadline time.Time) error {
 		}
 		t.opts.logf("tcp: rank %d dial rank %d (%s) attempt %d: %v; retrying in %s",
 			t.rank, s, addr, attempt+1, err, backoff)
-		time.Sleep(backoff)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-t.stop:
+			timer.Stop()
+			return fmt.Errorf("tcp: rank %d dial rank %d (%s): %w", t.rank, s, addr, t.errOr())
+		}
 		backoff *= 2
 		if backoff > t.opts.RetryMax {
 			backoff = t.opts.RetryMax
@@ -474,19 +661,12 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 	if dst < 0 || dst >= t.size {
 		panic(fmt.Sprintf("tcp: send to rank %d out of range [0,%d)", dst, t.size))
 	}
-	pc := t.conns[dst]
+	if t.opts.Recovery {
+		return stall + t.sendRecovery(dst, tag, data, meta, poll)
+	}
+	pc := t.conn(dst)
 	wstall, err := pc.sendFrame(t, poll, kData, func(b []byte) []byte {
-		b = appendU32(b, uint32(t.rank))
-		b = appendU64(b, uint64(tag))
-		b = appendU32(b, uint32(len(meta)))
-		b = appendU32(b, uint32(len(data)))
-		for _, v := range meta {
-			b = appendU64(b, uint64(v))
-		}
-		for _, v := range data {
-			b = appendU64(b, math.Float64bits(v))
-		}
-		return b
+		return appendDataBody(b, t.rank, tag, data, meta)
 	})
 	stall += wstall
 	if err != nil {
@@ -501,6 +681,71 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 	return stall
 }
 
+// sendRecovery is the Recovery-mode remote DATA send: the fully
+// encoded frame is retained for rejoin replay before the write, sends
+// to a down peer are parked (the frame stays retained, the send-buffer
+// slot is returned immediately), and a write failure marks the peer
+// down instead of failing the transport. A send-buffer slot has
+// already been acquired by the caller.
+func (t *Transport) sendRecovery(dst, tag int, data []float64, meta []int64, poll func()) (stall time.Duration) {
+	frame := make([]byte, 0, 4+1+20+8*len(meta)+8*len(data))
+	frame = append(frame, 0, 0, 0, 0, kData)
+	frame = appendDataBody(frame, t.rank, tag, data, meta)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
+	ps := t.pstate[dst]
+	ps.mu.Lock()
+	ps.retained = append(ps.retained, frame)
+	down := ps.down
+	ps.mu.Unlock()
+	if down {
+		// Parked: no ACK will come until the peer rejoins and the frame
+		// is replayed; give the slot back so live traffic keeps flowing.
+		select {
+		case <-t.slots:
+		default:
+		}
+		return 0
+	}
+	pc := t.conn(dst)
+	if pc == nil {
+		select {
+		case <-t.slots:
+		default:
+		}
+		return 0
+	}
+	stall, err := pc.writeFrame(t, poll, frame)
+	if err != nil {
+		t.markPeerDown(dst, pc, fmt.Errorf("send: %w", err))
+		select {
+		case <-t.slots:
+		default:
+		}
+		return stall
+	}
+	ps.mu.Lock()
+	ps.inflight++
+	ps.mu.Unlock()
+	return stall
+}
+
+// appendDataBody encodes a DATA frame body (src, tag, meta, data)
+// after the length prefix and kind byte.
+func appendDataBody(b []byte, src, tag int, data []float64, meta []int64) []byte {
+	b = appendU32(b, uint32(src))
+	b = appendU64(b, uint64(tag))
+	b = appendU32(b, uint32(len(meta)))
+	b = appendU32(b, uint32(len(data)))
+	for _, v := range meta {
+		b = appendU64(b, uint64(v))
+	}
+	for _, v := range data {
+		b = appendU64(b, math.Float64bits(v))
+	}
+	return b
+}
+
 // sendFrame encodes one frame under the connection's write lock and
 // writes it with per-message deadlines; see writeLocked for the stall
 // accounting.
@@ -513,6 +758,15 @@ func (pc *peerConn) sendFrame(t *Transport, poll func(), kind byte, body func([]
 	}
 	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
 	pc.wbuf = b
+	return pc.writeLocked(t, b, poll)
+}
+
+// writeFrame writes an already-encoded frame under the connection's
+// write lock — the Recovery send and rejoin-replay path, where frames
+// are retained and must not share the connection's scratch buffer.
+func (pc *peerConn) writeFrame(t *Transport, poll func(), b []byte) (time.Duration, error) {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
 	return pc.writeLocked(t, b, poll)
 }
 
@@ -564,6 +818,12 @@ func (pc *peerConn) writeLocked(t *Transport, b []byte, poll func()) (stall time
 // from peer pc.
 func (t *Transport) ack(pc *peerConn) {
 	if _, err := pc.sendFrame(t, nil, kAck, nil); err != nil && !t.closing.Load() {
+		if t.opts.Recovery {
+			// The sender is gone; its restarted incarnation starts with
+			// fresh slots, so a lost ACK is harmless.
+			t.markPeerDown(pc.peer, pc, fmt.Errorf("ack: %w", err))
+			return
+		}
 		t.fail(fmt.Errorf("tcp: rank %d ack to rank %d: %w", t.rank, pc.peer, err))
 	}
 }
@@ -596,6 +856,9 @@ func (t *Transport) reader(pc *peerConn) {
 			return
 		}
 		t.bytesIn.Add(int64(4 + n))
+		if t.opts.Recovery {
+			t.pstate[pc.peer].lastHeard.Store(time.Now().UnixNano())
+		}
 		kind, p := body[0], body[1:]
 		switch kind {
 		case kData:
@@ -619,8 +882,18 @@ func (t *Transport) reader(pc *peerConn) {
 		case kAck:
 			select {
 			case <-t.slots:
-			default: // spurious ACK; harmless
+			default: // spurious ACK (e.g. for a replayed frame); harmless
 			}
+			if t.opts.Recovery {
+				ps := t.pstate[pc.peer]
+				ps.mu.Lock()
+				if ps.inflight > 0 {
+					ps.inflight--
+				}
+				ps.mu.Unlock()
+			}
+		case kHeartbeat:
+			// Liveness only; lastHeard was updated above.
 		case kBarrier, kARVal:
 			c, err := decodeCtrl(kind, p)
 			if err != nil {
@@ -675,12 +948,18 @@ func (t *Transport) deliverLate(m *mpi.Message, d time.Duration) {
 }
 
 // readerExit handles a connection read error: silent during an
-// intentional shutdown, fatal (peer death) otherwise.
+// intentional shutdown, a peer-down transition under Recovery, and a
+// fatal typed *mpi.PeerDownError otherwise.
 func (t *Transport) readerExit(pc *peerConn, err error) {
 	if t.closing.Load() || t.stopped() {
 		return
 	}
-	t.fail(fmt.Errorf("tcp: rank %d: connection to rank %d died before BYE: %w", t.rank, pc.peer, err))
+	if t.opts.Recovery {
+		t.markPeerDown(pc.peer, pc, fmt.Errorf("connection died before BYE: %w", err))
+		return
+	}
+	t.fail(fmt.Errorf("tcp: rank %d: %w", t.rank,
+		&mpi.PeerDownError{Rank: pc.peer, Cause: fmt.Errorf("connection died before BYE: %w", err)}))
 }
 
 // decodeData builds a Message from a DATA frame body, drawing payload
@@ -802,7 +1081,7 @@ func (t *Transport) Barrier() error {
 				return t.errOr()
 			}
 		}
-		for _, pc := range t.conns {
+		for _, pc := range t.snapshotConns() {
 			if pc == nil {
 				continue
 			}
@@ -815,7 +1094,7 @@ func (t *Transport) Barrier() error {
 		}
 		return nil
 	}
-	if _, err := t.conns[0].sendFrame(t, nil, kBarrier, func(b []byte) []byte {
+	if _, err := t.conn(0).sendFrame(t, nil, kBarrier, func(b []byte) []byte {
 		return appendU32(b, seq)
 	}); err != nil {
 		t.fail(fmt.Errorf("tcp: rank %d: barrier arrive: %w", t.rank, err))
@@ -863,7 +1142,7 @@ func (t *Transport) AllReduce(v float64, f func(a, b float64) float64) (float64,
 		for i := 1; i < t.size; i++ {
 			acc = f(acc, vals[i])
 		}
-		for _, pc := range t.conns {
+		for _, pc := range t.snapshotConns() {
 			if pc == nil {
 				continue
 			}
@@ -877,7 +1156,7 @@ func (t *Transport) AllReduce(v float64, f func(a, b float64) float64) (float64,
 		}
 		return acc, nil
 	}
-	if _, err := t.conns[0].sendFrame(t, nil, kARVal, func(b []byte) []byte {
+	if _, err := t.conn(0).sendFrame(t, nil, kARVal, func(b []byte) []byte {
 		b = appendU32(b, seq)
 		b = appendU32(b, uint32(t.rank))
 		return appendU64(b, math.Float64bits(v))
@@ -914,7 +1193,7 @@ func (t *Transport) Close() error {
 			if n := len(t.slots); n > 0 {
 				t.opts.logf("tcp: rank %d: close with %d unacknowledged sends after %s drain", t.rank, n, t.opts.DrainTimeout)
 			}
-			for _, pc := range t.conns {
+			for _, pc := range t.snapshotConns() {
 				if pc != nil {
 					pc.sendFrame(t, nil, kBye, nil) // best effort
 				}
@@ -930,11 +1209,8 @@ func (t *Transport) Close() error {
 		if t.ln != nil {
 			t.ln.Close()
 		}
-		for _, pc := range t.conns {
-			if pc != nil {
-				pc.c.Close()
-			}
-		}
+		t.closeAllConns()
+		t.bg.Wait()
 		t.readers.Wait()
 		t.chaosWG.Wait()
 		close(t.inbox)
@@ -952,12 +1228,260 @@ func (t *Transport) Kill() {
 	if t.ln != nil {
 		t.ln.Close()
 	}
-	for _, pc := range t.conns {
-		if pc != nil {
-			pc.c.Close()
+	t.closeAllConns()
+}
+
+// ---- recovery protocol ----
+
+// markPeerDown transitions a peer to the down state under Recovery:
+// the failed connection is closed, the slots of its unacknowledged
+// sends are returned (their ACKs will never arrive; the retained
+// frames are replayed on rejoin), and subsequent sends to the peer are
+// parked. Without Recovery it fails the whole transport with a typed
+// *mpi.PeerDownError. A stale call — the observed connection has
+// already been replaced by a rejoin — is ignored.
+func (t *Transport) markPeerDown(peer int, pc *peerConn, cause error) {
+	if t.closing.Load() || t.stopped() {
+		return
+	}
+	if !t.opts.Recovery {
+		t.fail(fmt.Errorf("tcp: rank %d: %w", t.rank, &mpi.PeerDownError{Rank: peer, Cause: cause}))
+		return
+	}
+	t.connMu.RLock()
+	stale := pc != nil && t.conns[peer] != pc
+	t.connMu.RUnlock()
+	if stale {
+		return
+	}
+	ps := t.pstate[peer]
+	ps.mu.Lock()
+	if ps.down {
+		ps.mu.Unlock()
+		return
+	}
+	ps.down = true
+	ps.downSince = time.Now()
+	lost := ps.inflight
+	ps.inflight = 0
+	ps.mu.Unlock()
+	if pc != nil {
+		pc.c.Close()
+	}
+	for i := 0; i < lost; i++ {
+		select {
+		case <-t.slots:
+		default:
+		}
+	}
+	t.opts.logf("tcp: rank %d: peer %d down (%v); %d unacked sends returned, awaiting rejoin",
+		t.rank, peer, cause, lost)
+}
+
+// heartbeatLoop probes every live peer each Options.HeartbeatEvery: it
+// sends a HEARTBEAT frame, counts a miss for every peer not heard from
+// within 1.5 intervals, declares a peer down after
+// Options.HeartbeatMisses intervals of silence, and fails the
+// transport with a typed *mpi.PeerDownError once a down peer has
+// stayed down past Options.PeerDownTimeout without rejoining.
+func (t *Transport) heartbeatLoop() {
+	defer t.bg.Done()
+	tick := time.NewTicker(t.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for peer, ps := range t.pstate {
+			if peer == t.rank {
+				continue
+			}
+			ps.mu.Lock()
+			down, since := ps.down, ps.downSince
+			ps.mu.Unlock()
+			if down {
+				if now.Sub(since) > t.opts.PeerDownTimeout {
+					t.fail(fmt.Errorf("tcp: rank %d: %w", t.rank, &mpi.PeerDownError{
+						Rank:  peer,
+						Cause: fmt.Errorf("no rejoin within %s", t.opts.PeerDownTimeout),
+					}))
+					return
+				}
+				continue
+			}
+			pc := t.conn(peer)
+			if pc == nil {
+				continue
+			}
+			if _, err := pc.sendFrame(t, nil, kHeartbeat, nil); err != nil {
+				t.markPeerDown(peer, pc, fmt.Errorf("heartbeat write: %w", err))
+				continue
+			}
+			silent := now.Sub(time.Unix(0, ps.lastHeard.Load()))
+			if silent > t.opts.HeartbeatEvery+t.opts.HeartbeatEvery/2 {
+				t.hbMisses.Add(1)
+				if silent > time.Duration(t.opts.HeartbeatMisses)*t.opts.HeartbeatEvery {
+					t.markPeerDown(peer, pc, fmt.Errorf("no frames for %s (%d heartbeat intervals)",
+						silent.Round(time.Millisecond), t.opts.HeartbeatMisses))
+				}
+			}
 		}
 	}
 }
+
+// acceptLoop keeps the listener alive after mesh establishment under
+// Recovery, accepting REJOIN connections from restarted peers. It
+// exits when Close (or a context cancellation) closes the listener.
+func (t *Transport) acceptLoop() {
+	defer t.bg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.bg.Add(1)
+		go t.handleRejoin(c)
+	}
+}
+
+// handleRejoin validates a REJOIN handshake, swaps the peer's entry in
+// the connection table to the new socket, restarts its reader, and
+// replays the full retained DATA history — the receiving engine
+// deduplicates edges it has already applied (docs/FAULT_TOLERANCE.md).
+func (t *Transport) handleRejoin(c net.Conn) {
+	defer t.bg.Done()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	kind, peer, err := readIdent(c)
+	if err != nil || kind != kRejoin || peer < 0 || peer >= t.size || peer == t.rank {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	pc := newPeerConn(peer, c)
+	t.connMu.Lock()
+	if t.stopped() {
+		t.connMu.Unlock()
+		c.Close()
+		return
+	}
+	old := t.conns[peer]
+	t.conns[peer] = pc
+	t.connMu.Unlock()
+	if old != nil {
+		old.c.Close() // the stale reader exits; its markPeerDown is a no-op
+	}
+	ps := t.pstate[peer]
+	ps.lastHeard.Store(time.Now().UnixNano())
+	ps.mu.Lock()
+	wasDown := ps.down
+	ps.down = false
+	ps.downSince = time.Time{}
+	ps.inflight = 0
+	replay := make([][]byte, len(ps.retained))
+	copy(replay, ps.retained)
+	ps.mu.Unlock()
+	if wasDown {
+		t.peerRestarts.Add(1)
+	}
+	t.readers.Add(1)
+	go t.reader(pc)
+	for i, frame := range replay {
+		if _, err := pc.writeFrame(t, nil, frame); err != nil {
+			t.opts.logf("tcp: rank %d: rejoin replay to peer %d failed at frame %d/%d: %v",
+				t.rank, peer, i, len(replay), err)
+			t.markPeerDown(peer, pc, fmt.Errorf("rejoin replay: %w", err))
+			return
+		}
+	}
+	t.opts.logf("tcp: rank %d: peer %d rejoined; replayed %d data frames", t.rank, peer, len(replay))
+}
+
+// DialRejoin reconnects a restarted rank into an existing Recovery
+// mesh: it listens on peers[rank] again (or Options.Listener), dials
+// every other rank and identifies itself with a REJOIN frame, which
+// makes each live peer swap in the new connection and replay its
+// retained send history. The caller then resumes the engine from the
+// rank's checkpoint (engine.Config.Checkpoint.Resume). Recovery is
+// implied: opts.Recovery is forced on.
+func DialRejoin(rank int, peers []string, opts Options) (*Transport, error) {
+	opts.Recovery = true
+	size := len(peers)
+	if size < 2 {
+		return nil, errors.New("tcp: rejoin needs at least two ranks")
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("tcp: rank %d out of range [0,%d)", rank, size)
+	}
+	o := opts.withDefaults()
+	t := newTransport(rank, size, o)
+	ln := o.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", peers[rank])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: rank %d relisten %s: %w", rank, peers[rank], err)
+		}
+	}
+	t.ln = ln
+	deadline := time.Now().Add(o.DialTimeout)
+	dialDone := make(chan struct{})
+	defer close(dialDone)
+	if ctx := o.Context; ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				t.fail(fmt.Errorf("tcp: rank %d: %w", rank, ctx.Err()))
+				ln.Close()
+			case <-dialDone:
+			case <-t.stop:
+			}
+		}()
+	}
+	errs := make(chan error, size-1)
+	for s := 0; s < size; s++ {
+		if s == rank {
+			continue
+		}
+		go func(s int) { errs <- t.dialPeerIdent(s, peers[s], deadline, kRejoin) }(s)
+	}
+	var firstErr error
+	for i := 0; i < size-1; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		ln.Close()
+		t.closeAllConns()
+		return nil, firstErr
+	}
+	for _, pc := range t.snapshotConns() {
+		if pc != nil {
+			t.readers.Add(1)
+			go t.reader(pc)
+		}
+	}
+	t.startBackground()
+	return t, nil
+}
+
+// RecoveryStats reports the cumulative heartbeat misses and peer
+// restarts (successful rejoins of a previously-down peer) this
+// endpoint has observed — the sources of the dp_heartbeat_misses_total
+// and dp_peer_restarts_total metrics.
+func (t *Transport) RecoveryStats() (heartbeatMisses, peerRestarts int64) {
+	return t.hbMisses.Load(), t.peerRestarts.Load()
+}
+
+// PendingSends reports the number of in-flight sends that have not yet
+// been acknowledged. The engine's checkpointer waits for zero before
+// serializing, which guarantees every tile recorded as executed has
+// had its outgoing edges *received* (not merely written to a socket
+// buffer that process death could discard).
+func (t *Transport) PendingSends() int { return len(t.slots) }
 
 // ---- framing helpers ----
 
@@ -970,23 +1494,24 @@ func appendU64(b []byte, v uint64) []byte {
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
-// writeHello sends the dialer's identity as the first frame of a
-// connection.
-func writeHello(c net.Conn, rank int) error {
-	b := appendU32([]byte{5, 0, 0, 0, kHello}, uint32(rank))
+// writeIdent sends the dialer's identity (a HELLO or REJOIN frame) as
+// the first frame of a connection.
+func writeIdent(c net.Conn, kind byte, rank int) error {
+	b := appendU32([]byte{5, 0, 0, 0, kind}, uint32(rank))
 	_, err := c.Write(b)
 	return err
 }
 
-// readHello reads and validates the HELLO frame that opens a dialed
-// connection.
-func readHello(c net.Conn) (int, error) {
+// readIdent reads and validates the identity frame (HELLO or REJOIN)
+// that opens a dialed connection, returning its kind and the dialer's
+// rank.
+func readIdent(c net.Conn) (byte, int, error) {
 	var b [9]byte
 	if _, err := io.ReadFull(c, b[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if binary.LittleEndian.Uint32(b[0:4]) != 5 || b[4] != kHello {
-		return 0, errors.New("malformed hello frame")
+	if binary.LittleEndian.Uint32(b[0:4]) != 5 || (b[4] != kHello && b[4] != kRejoin) {
+		return 0, 0, errors.New("malformed identity frame")
 	}
-	return int(binary.LittleEndian.Uint32(b[5:9])), nil
+	return b[4], int(binary.LittleEndian.Uint32(b[5:9])), nil
 }

@@ -64,12 +64,26 @@ const (
 	// edges (the Figure 4 quantity), taken at tile completion; Val is
 	// the count.
 	KPending
+	// KCheckpoint spans writing one fault-tolerance checkpoint; Val is
+	// the encoded size in bytes.
+	KCheckpoint
+	// KRecover spans restoring a rank's state from a checkpoint at
+	// resume; Val is the number of buffered edges replayed.
+	KRecover
+	// KHeartbeatMiss samples the transport's cumulative heartbeat-miss
+	// count (peers silent past one heartbeat interval); Val is the
+	// count.
+	KHeartbeatMiss
+	// KPeerRestart samples the transport's cumulative count of peers
+	// that died and successfully rejoined; Val is the count.
+	KPeerRestart
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"ready", "pop", "unpack", "kernel", "pack",
 	"send", "recv", "stall", "idle", "pending_edges",
+	"checkpoint", "recover", "heartbeat_miss", "peer_restart",
 }
 
 func (k Kind) String() string {
@@ -94,7 +108,7 @@ func KindFromString(s string) (Kind, bool) {
 // or counters).
 func (k Kind) Durable() bool {
 	switch k {
-	case KUnpack, KKernel, KPack, KSend, KStall, KIdle:
+	case KUnpack, KKernel, KPack, KSend, KStall, KIdle, KCheckpoint, KRecover:
 		return true
 	}
 	return false

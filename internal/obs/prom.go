@@ -28,9 +28,18 @@ type NodeMetrics struct {
 	// on every transport; the TCP transport additionally counts exact
 	// frame bytes (tcp.Transport.Bytes), which exceed this figure by
 	// the frame and metadata overhead documented in docs/TRANSPORT.md.
-	BytesSent int64 `json:"bytes_sent"`
-	PendingEdgesPeak int64   `json:"pending_edges_peak"`
-	EventsDropped    uint64  `json:"events_dropped"`
+	BytesSent        int64  `json:"bytes_sent"`
+	PendingEdgesPeak int64  `json:"pending_edges_peak"`
+	EventsDropped    uint64 `json:"events_dropped"`
+	// CheckpointBytes is the total encoded size of fault-tolerance
+	// checkpoints written (KCheckpoint events); Checkpoints counts them.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	Checkpoints     int64 `json:"checkpoints"`
+	// HeartbeatMisses and PeerRestarts are the transport's recovery
+	// counters, sampled at the end of a distributed run (KHeartbeatMiss
+	// / KPeerRestart events carry the cumulative value).
+	HeartbeatMisses int64 `json:"heartbeat_misses"`
+	PeerRestarts    int64 `json:"peer_restarts"`
 }
 
 // Metrics are the whole-run aggregates.
@@ -76,6 +85,17 @@ func (tr *Trace) Metrics() *Metrics {
 			if e.Val > nm.PendingEdgesPeak {
 				nm.PendingEdgesPeak = e.Val
 			}
+		case KCheckpoint:
+			nm.Checkpoints++
+			nm.CheckpointBytes += e.Val
+		case KHeartbeatMiss:
+			if e.Val > nm.HeartbeatMisses {
+				nm.HeartbeatMisses = e.Val
+			}
+		case KPeerRestart:
+			if e.Val > nm.PeerRestarts {
+				nm.PeerRestarts = e.Val
+			}
 		}
 	}
 	for _, l := range tr.Lanes {
@@ -119,6 +139,12 @@ var promFamilies = []promFamily{
 		func(n *NodeMetrics) any { return n.PendingEdgesPeak }},
 	{"dp_trace_events_dropped_total", "counter", "Trace events lost to ring-buffer overwrite per node.",
 		func(n *NodeMetrics) any { return n.EventsDropped }},
+	{"dp_checkpoint_bytes_total", "counter", "Bytes written to fault-tolerance checkpoints per node.",
+		func(n *NodeMetrics) any { return n.CheckpointBytes }},
+	{"dp_heartbeat_misses_total", "counter", "Heartbeat intervals a peer went silent past the miss threshold, per node.",
+		func(n *NodeMetrics) any { return n.HeartbeatMisses }},
+	{"dp_peer_restarts_total", "counter", "Peers that died and successfully rejoined this node's transport.",
+		func(n *NodeMetrics) any { return n.PeerRestarts }},
 }
 
 // WritePrometheus writes the metrics in the Prometheus text exposition
