@@ -95,6 +95,40 @@ func BenchmarkTracerOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkTracerOverheadDistributed is the cross-rank sibling of
+// BenchmarkTracerOverhead: a two-rank lcs2 job over real loopback TCP,
+// with tracing disabled (the shipping default — DATA frames still carry
+// the aligned send timestamp, but no trace events are recorded) and
+// enabled (a tracer per rank, as `dprun -launch -trace` runs). Each
+// iteration includes the mesh dial and clock-sync handshake, matching
+// what a distributed run pays end to end.
+func BenchmarkTracerOverheadDistributed(b *testing.B) {
+	p, err := problems.Get("lcs2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := p.DefaultParams
+	b.Run("Disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runDistributedTCP(b, p, params, 2, 2)
+		}
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracers := make([]*obs.Tracer, 2)
+			runDistributedTCPOpts(b, p, params, 2, 2, nil, func(r int, c *engine.Config) {
+				tracers[r] = obs.NewTracer()
+				c.Tracer = tracers[r]
+			})
+			for r, tr := range tracers {
+				if len(tr.Snapshot().Events) == 0 {
+					b.Fatalf("rank %d tracer recorded nothing", r)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkFig2Balance measures the Ehrhart-weighted prefix balancer
 // across 3 nodes and reports the achieved imbalance.
 func BenchmarkFig2Balance(b *testing.B) {

@@ -26,16 +26,25 @@
 // results (see docs/FAULT_TOLERANCE.md):
 //
 //	dprun -problem bandit2 -distributed -launch 2 -ckpt-dir /tmp/ck -kill-rank 1 -crash-after-tiles 40 -check
+//
+// Observability (docs/OBSERVABILITY.md): with -launch, -trace collects
+// one clock-aligned Perfetto trace for the whole job (a process group
+// per rank, cross-rank send-to-receive flow arrows, recovery instants),
+// -report prints the run-wide straggler/critical-path report,
+// -stats-json writes machine-readable per-rank statistics, and
+// -obs-addr serves live /metrics and /debug/pprof endpoints while the
+// job runs:
+//
+//	dprun -problem lcs2 -distributed -launch 2 -trace out.json -report
+//	dprun -check-trace out.json -problem lcs2
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
-	"net"
+	"io"
 	"os"
-	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"dpgen"
+	"dpgen/internal/obs"
 	"dpgen/internal/problems"
 )
 
@@ -66,7 +76,7 @@ func main() {
 		balOpt   = flag.String("balance", "prefix", "load balancer: prefix, hyperplane")
 		check    = flag.Bool("check", false, "verify against the serial reference solver")
 		stats    = flag.Bool("stats", false, "print per-node statistics")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file; with -launch, one clock-aligned merged file for the whole job")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus text-exposition snapshot of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
@@ -78,14 +88,38 @@ func main() {
 		crashTiles  = flag.Int64("crash-after-tiles", 0, "fault injection: exit(3) after this rank executes N tiles")
 		killRank    = flag.Int("kill-rank", -1, "fault injection for -launch: forward -crash-after-tiles to this rank only")
 		maxRestarts = flag.Int("max-restarts", 3, "per-rank restart budget for the -launch supervisor (with -ckpt-dir)")
+
+		report       = flag.Bool("report", false, "print the run-wide observability report: per-rank breakdowns, load imbalance, stragglers, critical path (implies tracing)")
+		statsJSON    = flag.String("stats-json", "", "write machine-readable run statistics as JSON to this file ('-' for stdout); with -launch, one JSON array over all ranks")
+		obsAddr      = flag.String("obs-addr", "", "serve live /metrics (Prometheus) and /debug/pprof on this address while the run is in flight; with -launch the supervisor serves a job-wide aggregate here")
+		metricsOut   = flag.String("metrics-out", "", "write this rank's final Prometheus wire-metrics snapshot to this file; with -launch, one aggregated snapshot over all ranks")
+		checkTrace   = flag.String("check-trace", "", "verify a merged trace file's invariants and critical-path bound against -problem, then exit")
+		traceLenient = flag.Bool("trace-lenient", false, "verify traces with the lenient flow-pairing rules (required for runs that restarted a rank)")
 	)
 	flag.Parse()
+
+	if *checkTrace != "" {
+		os.Exit(checkTraceMain(*checkTrace, *name, *traceLenient))
+	}
 
 	if *launch > 0 {
 		if !*distrib {
 			fatal(fmt.Errorf("-launch requires -distributed"))
 		}
-		os.Exit(launchLocal(*launch, *maxRestarts, *ckptDir, *killRank, *crashTiles))
+		os.Exit(launchLocal(launchConfig{
+			n:           *launch,
+			maxRestarts: *maxRestarts,
+			ckptDir:     *ckptDir,
+			killRank:    *killRank,
+			crashTiles:  *crashTiles,
+			traceOut:    *traceOut,
+			statsJSON:   *statsJSON,
+			report:      *report,
+			obsAddr:     *obsAddr,
+			metricsOut:  *metricsOut,
+			lenient:     *traceLenient,
+			problem:     *name,
+		}))
 	}
 
 	if *cpuProf != "" {
@@ -135,6 +169,11 @@ func main() {
 			os.Exit(3)
 		}
 	}
+	var tracer *dpgen.Tracer
+	if *traceOut != "" || *metrics || *report {
+		tracer = dpgen.NewTracer()
+		cfg.Tracer = tracer
+	}
 	if *distrib {
 		peers := strings.Split(*peersStr, ",")
 		if *peersStr == "" || *rank < 0 || *rank >= len(peers) {
@@ -147,6 +186,9 @@ func main() {
 			RecvBufs: *recvBufs,
 			Recovery: *ckptDir != "",
 			Context:  ctx,
+		}
+		if tracer != nil {
+			opts.Observer = recoveryObserver(tracer, *rank, *threads)
 		}
 		var tr dpgen.Transport
 		if *rejoin {
@@ -178,11 +220,16 @@ func main() {
 		fatal(fmt.Errorf("unknown -balance %q", *balOpt))
 	}
 
-	var tracer *dpgen.Tracer
-	if *traceOut != "" || *metrics {
-		tracer = dpgen.NewTracer()
-		cfg.Tracer = tracer
+	if *obsAddr != "" {
+		srv, err := dpgen.ServeObs(*obsAddr, liveMetrics(cfg.Transport))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		// The -launch supervisor parses this line to discover the port.
+		fmt.Printf("obs       http://%s (live /metrics and /debug/pprof)\n", srv.Addr())
 	}
+
 	tl, err := dpgen.Analyze(p.Spec)
 	if err != nil {
 		fatal(err)
@@ -214,10 +261,33 @@ func main() {
 					i, st.Checkpoints, st.CheckpointBytes, st.EdgesDroppedDup,
 					st.HeartbeatMisses, st.PeerRestarts)
 			}
+			if st.WireBytesSent != 0 || st.WireBytesRecv != 0 {
+				fmt.Printf("node %d: wire_sent %d wire_recv %d\n", i, st.WireBytesSent, st.WireBytesRecv)
+			}
+		}
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, p.Spec.Name, params, *rank, *distrib, res, cfg.Transport); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := liveMetrics(cfg.Transport)(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 	if tracer != nil {
 		snap := tracer.Snapshot()
+		if *distrib {
+			snap.Meta = traceMeta(tracer, *rank, len(res.Stats), cfg.Transport)
+		}
 		rep, err := dpgen.CriticalPath(tl, snap)
 		if err != nil {
 			fatal(err)
@@ -235,6 +305,15 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("trace     %s (%d events, %d lanes)\n", *traceOut, len(snap.Events), len(snap.Lanes))
+		}
+		if *report {
+			rr, err := dpgen.BuildRunReport(tl, snap, 0)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rr.WriteText(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 		if *metrics {
 			if err := snap.Metrics().WritePrometheus(os.Stdout); err != nil {
@@ -270,173 +349,61 @@ func main() {
 	}
 }
 
-// childExit is one supervised worker process's termination report.
-type childExit struct {
-	rank int
-	err  error    // nil on clean exit
-	code int      // process exit code (-1 when unknown)
-	tail []string // last output lines, for the failure diagnostic
-}
-
-// tailLines is how many trailing output lines the supervisor keeps per
-// child for its failure diagnostic.
-const tailLines = 12
-
-// launchLocal is the local launcher and supervisor behind -launch N: it
-// picks N loopback ports, re-executes this binary once per rank with
-// -distributed -rank r -peers ..., forwarding the other explicitly-set
-// flags (except per-process outputs like -trace and the profiles, whose
-// filenames would collide), and prefixes each child's output with its
-// rank. With -kill-rank it forwards the -crash-after-tiles fault
-// injection to that rank only.
-//
-// When a child dies and checkpointing is on (-ckpt-dir), the supervisor
-// restarts the crashed rank with -resume -rejoin — the rank reloads its
-// checkpoint and the surviving peers replay their retained sends — up
-// to maxRestarts times per rank. Rank 0 coordinates the result merge
-// and is not restartable. On a terminal failure the remaining children
-// are killed and the first failed child's exit status and output tail
-// are propagated.
-func launchLocal(n, maxRestarts int, ckptDir string, killRank int, crashTiles int64) int {
-	exe, err := os.Executable()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	peers := make([]string, n)
-	for r := range peers {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		peers[r] = ln.Addr().String()
-		// Freed here and re-bound by the child; the dial retry in the
-		// transport rides out the window.
-		ln.Close()
-	}
-	var common []string
-	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "launch", "distributed", "rank", "peers", "nodes",
-			"trace", "metrics", "cpuprofile", "memprofile",
-			"kill-rank", "max-restarts", "crash-after-tiles",
-			"resume", "rejoin":
+// recoveryObserver bridges the transport's recovery callbacks (which
+// fire from heartbeat and reader goroutines) onto a dedicated
+// single-writer "recovery" trace lane, serialized by a mutex. The lane
+// index sits above the engine's worker/recv/init/ckpt lanes.
+func recoveryObserver(tracer *dpgen.Tracer, rank, threads int) func(event string, peer int, val int64) {
+	lane := tracer.Lane(rank, threads+3, "recovery")
+	var mu sync.Mutex
+	return func(event string, peer int, val int64) {
+		var k obs.Kind
+		switch event {
+		case dpgen.ObsPeerDown:
+			k = obs.KPeerDown
+		case dpgen.ObsPark:
+			k = obs.KPark
+		case dpgen.ObsRejoin:
+			k = obs.KRejoin
+		case dpgen.ObsReplay:
+			k = obs.KReplay
+		default:
 			return
 		}
-		common = append(common, "-"+f.Name+"="+f.Value.String())
-	})
-
-	var mu sync.Mutex // serializes output lines and the process table
-	procs := make(map[int]*exec.Cmd, n)
-	exits := make(chan childExit, n)
-
-	// start launches (or relaunches) rank r and begins streaming its
-	// output; extra carries the restart or fault-injection flags.
-	start := func(r int, extra ...string) error {
-		args := append([]string{
-			"-distributed",
-			"-rank", strconv.Itoa(r),
-			"-peers", strings.Join(peers, ","),
-		}, common...)
-		args = append(args, extra...)
-		cmd := exec.Command(exe, args...)
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return err
-		}
-		cmd.Stderr = cmd.Stdout // one prefixed stream per child
-		if err := cmd.Start(); err != nil {
-			return err
-		}
 		mu.Lock()
-		procs[r] = cmd
-		mu.Unlock()
-		go func() {
-			var tail []string
-			sc := bufio.NewScanner(stdout)
-			sc.Buffer(make([]byte, 64*1024), 1024*1024)
-			for sc.Scan() {
-				mu.Lock()
-				fmt.Printf("[rank %d] %s\n", r, sc.Text())
-				mu.Unlock()
-				tail = append(tail, sc.Text())
-				if len(tail) > tailLines {
-					tail = tail[1:]
-				}
-			}
-			ex := childExit{rank: r, err: cmd.Wait(), code: -1, tail: tail}
-			if st := cmd.ProcessState; st != nil {
-				ex.code = st.ExitCode()
-			}
-			exits <- ex
-		}()
-		return nil
-	}
-
-	for r := 0; r < n; r++ {
-		var extra []string
-		if r == killRank && crashTiles > 0 {
-			extra = []string{"-crash-after-tiles", strconv.FormatInt(crashTiles, 10)}
-		}
-		if err := start(r, extra...); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-	}
-
-	restarts := make(map[int]int, n)
-	running := n
-	ret := 0
-	for running > 0 {
-		ex := <-exits
-		if ex.err == nil {
-			running--
-			continue
-		}
-		if ret != 0 {
-			// Already failing: just reap the remaining children.
-			running--
-			continue
-		}
-		recoverable := ckptDir != "" && ex.rank != 0 && restarts[ex.rank] < maxRestarts
-		if recoverable {
-			restarts[ex.rank]++
-			fmt.Fprintf(os.Stderr, "supervisor: rank %d exited (%v); restart %d/%d with -resume -rejoin\n",
-				ex.rank, ex.err, restarts[ex.rank], maxRestarts)
-			if err := start(ex.rank, "-resume", "-rejoin"); err == nil {
-				continue
-			} else {
-				fmt.Fprintf(os.Stderr, "supervisor: restart of rank %d failed: %v\n", ex.rank, err)
-			}
-		}
-		// Terminal: report the failure, propagate the child's status and
-		// take the rest of the mesh down rather than letting it hang out
-		// its peer-down timeout.
-		running--
-		ret = ex.code
-		if ret <= 0 {
-			ret = 1
-		}
-		fmt.Fprintf(os.Stderr, "supervisor: rank %d failed (%v, exit code %d) after %d restarts\n",
-			ex.rank, ex.err, ex.code, restarts[ex.rank])
-		for _, line := range ex.tail {
-			fmt.Fprintf(os.Stderr, "supervisor: [rank %d] %s\n", ex.rank, line)
-		}
-		mu.Lock()
-		for r, cmd := range procs {
-			if r != ex.rank && cmd.Process != nil {
-				cmd.Process.Kill() // no-op error if it already exited
-			}
-		}
+		lane.Instant(k, "peer"+strconv.Itoa(peer), int32(peer), val)
 		mu.Unlock()
 	}
-	if ret == 0 {
-		for r, k := range restarts {
-			fmt.Printf("supervisor: rank %d recovered after %d restart(s)\n", r, k)
-		}
+}
+
+// traceMeta builds the clock-alignment metadata stamped into a
+// distributed rank's trace file; MergeTraces aligns on it.
+func traceMeta(tracer *dpgen.Tracer, rank, ranks int, tr dpgen.Transport) *dpgen.TraceMeta {
+	meta := &dpgen.TraceMeta{
+		Rank:         rank,
+		Ranks:        ranks,
+		OriginUnixNs: tracer.Origin().UnixNano(),
 	}
-	return ret
+	if ns, ok := dpgen.TransportNetStats(tr); ok {
+		meta.ClockOffsetNs = ns.ClockOffsetNs
+		meta.ClockRTTNs = ns.ClockRTTNs
+	}
+	return meta
+}
+
+// liveMetrics is the /metrics body of a single rank: the transport's
+// wire-level counters and edge-latency histogram, all atomic-backed and
+// safe to read mid-run. Non-distributed runs have no live source.
+func liveMetrics(tr dpgen.Transport) func(w io.Writer) error {
+	return func(w io.Writer) error {
+		if tr != nil {
+			if ns, ok := dpgen.TransportNetStats(tr); ok {
+				return ns.WritePrometheus(w)
+			}
+		}
+		_, err := fmt.Fprintln(w, "# dprun: no live metrics source (not a distributed TCP run)")
+		return err
+	}
 }
 
 func fatal(err error) {

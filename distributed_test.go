@@ -22,14 +22,23 @@ import (
 // in-process analog of nranks separate OS processes (the process-level
 // version is TestDprunDistributedSmoke). Every rank's Result is
 // returned.
-func runDistributedTCP(t *testing.T, p *problems.Problem, params []int64, nranks, threads int) []*engine.Result {
-	t.Helper()
+func runDistributedTCP(tb testing.TB, p *problems.Problem, params []int64, nranks, threads int) []*engine.Result {
+	tb.Helper()
+	return runDistributedTCPOpts(tb, p, params, nranks, threads, nil, nil)
+}
+
+// runDistributedTCPOpts is runDistributedTCP with per-rank hooks:
+// optsFn may adjust rank r's transport options and cfgFn its engine
+// config (e.g. to attach a tracer) before the rank starts.
+func runDistributedTCPOpts(tb testing.TB, p *problems.Problem, params []int64, nranks, threads int,
+	optsFn func(r int, o *tcp.Options), cfgFn func(r int, c *engine.Config)) []*engine.Result {
+	tb.Helper()
 	lns := make([]net.Listener, nranks)
 	peers := make([]string, nranks)
 	for r := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Fatal(err)
+			tb.Fatal(err)
 		}
 		lns[r] = ln
 		peers[r] = ln.Addr().String()
@@ -48,24 +57,32 @@ func runDistributedTCP(t *testing.T, p *problems.Problem, params []int64, nranks
 				errs[r] = err
 				return
 			}
-			tr, err := tcp.Dial(r, peers, tcp.Options{
+			opts := tcp.Options{
 				DialTimeout: 15 * time.Second,
 				Listener:    lns[r],
-			})
+			}
+			if optsFn != nil {
+				optsFn(r, &opts)
+			}
+			tr, err := tcp.Dial(r, peers, opts)
 			if err != nil {
 				errs[r] = err
 				return
 			}
-			results[r], errs[r] = engine.Run(tl, p.Kernel, params, engine.Config{
+			cfg := engine.Config{
 				Transport: tr,
 				Threads:   threads,
-			})
+			}
+			if cfgFn != nil {
+				cfgFn(r, &cfg)
+			}
+			results[r], errs[r] = engine.Run(tl, p.Kernel, params, cfg)
 		}(r)
 	}
 	wg.Wait()
 	for r, err := range errs {
 		if err != nil {
-			t.Fatalf("rank %d: %v", r, err)
+			tb.Fatalf("rank %d: %v", r, err)
 		}
 	}
 	return results

@@ -260,9 +260,80 @@ func ParseTrace(r io.Reader) (*Trace, error) { return obs.ParseChrome(r) }
 // measured times and reports the longest compute+communication chain
 // against the measured makespan.
 func CriticalPath(tl *Analysis, tr *Trace) (*PathReport, error) {
+	return obs.CriticalPath(tr, depOffsets(tl))
+}
+
+func depOffsets(tl *Analysis) [][]int64 {
 	offsets := make([][]int64, len(tl.TileDeps))
 	for j := range tl.TileDeps {
 		offsets[j] = tl.TileDeps[j].Offset
 	}
-	return obs.CriticalPath(tr, offsets)
+	return offsets
 }
+
+// TraceMeta is the clock-alignment metadata a distributed run stamps
+// into each rank's trace file (Trace.Meta); MergeTraces aligns on it.
+type TraceMeta = obs.TraceMeta
+
+// TraceFlow is one cross-rank message arrow of a merged trace.
+type TraceFlow = obs.Flow
+
+// RunReport is the run-wide analyzer output of BuildRunReport: per-rank
+// busy/stall/comm breakdowns, load-imbalance ratio, straggler tiles,
+// edge-latency distribution and the cross-rank critical path.
+type RunReport = obs.RunReport
+
+// LatencyHistogram is an immutable histogram snapshot (edge latencies).
+type LatencyHistogram = obs.HistogramSnapshot
+
+// TCPNetStats is the wire-level statistics snapshot of a DialTCP
+// endpoint: totals, per-peer frame/byte counters, clock-sync state and
+// the live edge-latency histogram.
+type TCPNetStats = tcp.NetStats
+
+// Recovery event names delivered to TCPOptions.Observer: a peer
+// declared dead, sends to it parked, the peer rejoining, and the
+// retained-frame replay that completes its recovery.
+const (
+	ObsPeerDown = tcp.ObsPeerDown
+	ObsPark     = tcp.ObsPark
+	ObsRejoin   = tcp.ObsRejoin
+	ObsReplay   = tcp.ObsReplay
+)
+
+// MergeTraces merges the per-rank trace files of one distributed run
+// into a single clock-aligned trace with synthesized send-to-receive
+// flow arrows; see docs/OBSERVABILITY.md.
+func MergeTraces(traces []*Trace) (*Trace, error) { return obs.MergeRanks(traces) }
+
+// VerifyMergedTrace checks a merged trace's invariants (alignment,
+// monotonic timestamps, flow pairing — exact pairing only when strict)
+// and returns the violations found, empty when sound. Recovery runs
+// replay frames and must be verified with strict=false.
+func VerifyMergedTrace(tr *Trace, strict bool) []string { return obs.VerifyMerged(tr, strict) }
+
+// BuildRunReport computes the run-wide report over a (merged) trace of
+// an analyzed spec; topK bounds the straggler list (<=0 means 5).
+func BuildRunReport(tl *Analysis, tr *Trace, topK int) (*RunReport, error) {
+	return obs.BuildReport(tr, depOffsets(tl), topK)
+}
+
+// TransportNetStats snapshots the wire-level statistics of a DialTCP
+// transport; ok is false for transports without them (in-process).
+func TransportNetStats(tr Transport) (TCPNetStats, bool) {
+	if t, ok := tr.(interface{ NetStats() tcp.NetStats }); ok {
+		return t.NetStats(), true
+	}
+	return TCPNetStats{}, false
+}
+
+// ServeObs starts the live observability endpoints (/metrics,
+// /debug/pprof, /healthz) on addr; metrics is invoked per scrape and
+// must only read concurrency-safe state. Returns the server, whose
+// Addr reports the bound address (useful with port :0).
+func ServeObs(addr string, metrics func(io.Writer) error) (*ObsServer, error) {
+	return obs.Serve(addr, metrics)
+}
+
+// ObsServer is a live observability endpoint server (ServeObs).
+type ObsServer = obs.Server

@@ -194,6 +194,12 @@ type NodeStats struct {
 	// result merge; only the local rank's entry is populated.
 	HeartbeatMisses int64
 	PeerRestarts    int64
+	// WireBytesSent and WireBytesRecv are the transport's raw
+	// bytes-on-wire counters (tcp.Transport.Bytes), frame headers
+	// included, sampled after the run's result merge. Zero for
+	// in-process transports; only the local rank's entry is populated.
+	WireBytesSent int64
+	WireBytesRecv int64
 }
 
 // Result is the outcome of a run.
@@ -462,6 +468,13 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 				lane.Instant(obs.KHeartbeatMiss, "", -1, hb)
 				lane.Instant(obs.KPeerRestart, "", -1, pr)
 			}
+		}
+		if bs, ok := tr.(interface{ Bytes() (int64, int64) }); ok {
+			sent, recvd := bs.Bytes()
+			n := nodes[0]
+			n.mu.Lock()
+			n.st.WireBytesSent, n.st.WireBytesRecv = sent, recvd
+			n.mu.Unlock()
 		}
 		tr.Close()
 	} else {

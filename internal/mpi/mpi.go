@@ -35,6 +35,14 @@ type Message struct {
 	// Meta is the integer metadata (the engine packs the consumer tile
 	// coordinates here); ownership follows GetMeta/PutMeta.
 	Meta []int64
+	// SendAtUnixNanos is the sender's clock-aligned wall time when the
+	// message hit the wire (rank-0 clock; see the TCP transport's clock
+	// sync). Zero for in-process transports, which skip the stamp to
+	// keep the fast path free of time syscalls.
+	SendAtUnixNanos int64
+	// Seq is the per-(sender, destination) wire sequence number of the
+	// carrying DATA frame; zero for in-process transports.
+	Seq uint64
 
 	slot     chan struct{}
 	release  func()

@@ -50,12 +50,13 @@ import (
 	"time"
 
 	"dpgen/internal/mpi"
+	"dpgen/internal/obs"
 )
 
 // Frame kinds (the byte after the length prefix; docs/TRANSPORT.md).
 const (
 	kHello      = byte(1)  // u32 dialer rank
-	kData       = byte(2)  // u32 src | i64 tag | u32 nmeta | u32 ndata | meta | data
+	kData       = byte(2)  // u32 src | i64 tag | i64 sendAt | u64 seq | u32 nmeta | u32 ndata | meta | data
 	kAck        = byte(3)  // empty: one send-buffer slot released
 	kBarrier    = byte(4)  // u32 seq: barrier arrival, sent to rank 0
 	kBarrierRel = byte(5)  // u32 seq: barrier release, sent by rank 0
@@ -64,7 +65,13 @@ const (
 	kBye        = byte(8)  // empty: graceful end-of-stream
 	kHeartbeat  = byte(9)  // empty: liveness probe (Options.Recovery)
 	kRejoin     = byte(10) // u32 rank: restarted rank reconnecting
+	kClockReq   = byte(11) // i64 t0: clock-sync probe, echoed by the responder
+	kClockResp  = byte(12) // i64 t0 echo | i64 responder aligned unix nanos
 )
+
+// dataHdrLen is the fixed DATA body header size: src, tag, send
+// timestamp, sequence number, meta and data lengths.
+const dataHdrLen = 36
 
 // maxFrame bounds a frame's body length; larger lengths indicate a
 // corrupt stream and fail the transport.
@@ -137,7 +144,42 @@ type Options struct {
 	// the context's error once it is done. Ctrl-C handling in cmd/dprun
 	// wires os.Interrupt here.
 	Context context.Context
+	// DisableClockSync skips the clock-offset ping-pong against rank 0
+	// after mesh establishment. ClockOffset then reports zero and DATA
+	// frames carry raw local send timestamps; merged traces lose their
+	// alignment guarantee. The overhead benchmarks use it to isolate
+	// the cost of the handshake.
+	DisableClockSync bool
+	// ClockProbes is the number of ping-pong rounds of the clock-offset
+	// estimation (default 8). The estimate keeps the minimum-RTT round,
+	// so more probes tighten the rtt/2 error bound on a jittery link.
+	ClockProbes int
+	// Observer, if non-nil, receives recovery-protocol transitions
+	// (ObsPeerDown, ObsPark, ObsRejoin, ObsReplay) as they happen. It
+	// is called from transport goroutines — reader, heartbeat and send
+	// paths — and must be safe for concurrent use and non-blocking;
+	// cmd/dprun bridges it onto a mutex-guarded trace lane.
+	Observer func(event string, peer int, val int64)
+	// clockRespDelay is a test-only hook delaying kClockReq responses,
+	// injecting asymmetric path delay into the offset estimation.
+	clockRespDelay func() time.Duration
 }
+
+// Observer event names (Options.Observer).
+const (
+	// ObsPeerDown fires when a peer is declared down; val is the
+	// number of in-flight sends whose slots were reclaimed.
+	ObsPeerDown = "peer_down"
+	// ObsPark fires when a send to a down peer is parked for replay;
+	// val is the cumulative parked count for that peer.
+	ObsPark = "park"
+	// ObsRejoin fires when a restarted peer reconnects; val is the
+	// number of retained frames about to be replayed.
+	ObsRejoin = "rejoin"
+	// ObsReplay fires when retained-frame replay to a rejoined peer
+	// completes; val is the number of frames replayed.
+	ObsReplay = "replay"
+)
 
 func (o Options) withDefaults() Options {
 	if o.SendBufs == 0 {
@@ -170,7 +212,17 @@ func (o Options) withDefaults() Options {
 	if o.PeerDownTimeout == 0 {
 		o.PeerDownTimeout = 2 * time.Minute
 	}
+	if o.ClockProbes == 0 {
+		o.ClockProbes = 8
+	}
 	return o
+}
+
+// observe forwards a recovery transition to Options.Observer, if set.
+func (o Options) observe(event string, peer int, val int64) {
+	if o.Observer != nil {
+		o.Observer(event, peer, val)
+	}
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -274,6 +326,29 @@ type Transport struct {
 	elems    atomic.Int64
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
+
+	// Per-peer wire counters (indexed by peer rank; the self index
+	// stays zero) and the per-destination DATA sequence counters.
+	framesTo   []atomic.Int64
+	framesFrom []atomic.Int64
+	bytesTo    []atomic.Int64
+	bytesFrom  []atomic.Int64
+	dataSeq    []atomic.Uint64
+
+	// Clock sync state: the estimated offset of rank 0's clock relative
+	// to the local clock, the RTT of the probe it came from, the
+	// channel the reader routes CLOCKRESP frames to, and whether the
+	// sync attempt has finished (DATA frames sent before that are
+	// stamped unaligned). clockDone closes when the attempt completes.
+	clockOff   atomic.Int64
+	clockRTT   atomic.Int64
+	clockCh    chan clockResp
+	clockReady atomic.Bool
+	clockDone  chan struct{}
+
+	// latHist observes one aligned send-to-receive latency per received
+	// DATA frame (the dp_edge_latency_seconds histogram).
+	latHist *obs.Histogram
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -412,6 +487,12 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 		}
 	}
 	t.startBackground()
+	// Asynchronous on purpose: peers whose Dial already returned start
+	// sending DATA immediately, and with a small inbox this endpoint's
+	// reader parks on delivery until the engine drains — a synchronous
+	// sync here would starve its own responses behind that backlog and,
+	// under Recovery, trip the heartbeat monitor (see syncClock).
+	go t.syncClock()
 	return t, nil
 }
 
@@ -419,20 +500,34 @@ func Dial(rank int, peers []string, opts Options) (*Transport, error) {
 // DialRejoin.
 func newTransport(rank, size int, o Options) *Transport {
 	t := &Transport{
-		rank:    rank,
-		size:    size,
-		opts:    o,
-		conns:   make([]*peerConn, size),
-		pstate:  make([]*peerState, size),
-		inbox:   make(chan *mpi.Message, o.RecvBufs),
-		slots:   make(chan struct{}, o.SendBufs),
-		stop:    make(chan struct{}),
-		coordCh: make(chan ctrl, 4*size),
-		relCh:   make(chan ctrl, 4),
-		allByes: make(chan struct{}),
+		rank:       rank,
+		size:       size,
+		opts:       o,
+		conns:      make([]*peerConn, size),
+		pstate:     make([]*peerState, size),
+		inbox:      make(chan *mpi.Message, o.RecvBufs),
+		slots:      make(chan struct{}, o.SendBufs),
+		stop:       make(chan struct{}),
+		coordCh:    make(chan ctrl, 4*size),
+		relCh:      make(chan ctrl, 4),
+		allByes:    make(chan struct{}),
+		framesTo:   make([]atomic.Int64, size),
+		framesFrom: make([]atomic.Int64, size),
+		bytesTo:    make([]atomic.Int64, size),
+		bytesFrom:  make([]atomic.Int64, size),
+		dataSeq:    make([]atomic.Uint64, size),
+		clockCh:    make(chan clockResp, 4),
+		clockDone:  make(chan struct{}),
+		latHist:    obs.NewHistogram(),
 	}
 	for i := range t.pstate {
 		t.pstate[i] = &peerState{}
+	}
+	if rank == 0 || size == 1 || o.DisableClockSync {
+		// Nothing to estimate: rank 0 defines the timeline, and a
+		// disabled sync stamps raw local clocks. Marking readiness here
+		// keeps the endpoint's very first sends aligned-stamped.
+		t.clockReady.Store(true)
 	}
 	return t
 }
@@ -665,8 +760,9 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 		return stall + t.sendRecovery(dst, tag, data, meta, poll)
 	}
 	pc := t.conn(dst)
+	sendAt, seq := t.stampData(dst)
 	wstall, err := pc.sendFrame(t, poll, kData, func(b []byte) []byte {
-		return appendDataBody(b, t.rank, tag, data, meta)
+		return appendDataBody(b, t.rank, tag, sendAt, seq, data, meta)
 	})
 	stall += wstall
 	if err != nil {
@@ -688,19 +784,22 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 // down instead of failing the transport. A send-buffer slot has
 // already been acquired by the caller.
 func (t *Transport) sendRecovery(dst, tag int, data []float64, meta []int64, poll func()) (stall time.Duration) {
-	frame := make([]byte, 0, 4+1+20+8*len(meta)+8*len(data))
+	sendAt, seq := t.stampData(dst)
+	frame := make([]byte, 0, 4+1+dataHdrLen+8*len(meta)+8*len(data))
 	frame = append(frame, 0, 0, 0, 0, kData)
-	frame = appendDataBody(frame, t.rank, tag, data, meta)
+	frame = appendDataBody(frame, t.rank, tag, sendAt, seq, data, meta)
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 
 	ps := t.pstate[dst]
 	ps.mu.Lock()
 	ps.retained = append(ps.retained, frame)
+	retained := len(ps.retained)
 	down := ps.down
 	ps.mu.Unlock()
 	if down {
 		// Parked: no ACK will come until the peer rejoins and the frame
 		// is replayed; give the slot back so live traffic keeps flowing.
+		t.opts.observe(ObsPark, dst, int64(retained))
 		select {
 		case <-t.slots:
 		default:
@@ -730,11 +829,28 @@ func (t *Transport) sendRecovery(dst, tag int, data []float64, meta []int64, pol
 	return stall
 }
 
-// appendDataBody encodes a DATA frame body (src, tag, meta, data)
-// after the length prefix and kind byte.
-func appendDataBody(b []byte, src, tag int, data []float64, meta []int64) []byte {
+// stampData produces the wire stamp of one outgoing DATA frame: the
+// clock-aligned send time (local wall clock plus the estimated offset
+// to rank 0, so the receiver computes latency without knowing the
+// sender's offset) and the next per-destination sequence number. Until
+// the clock sync has completed (it runs on a goroutine after a
+// rejoin), sendAt is zero: receivers skip the latency observation
+// rather than absorb an unaligned stamp.
+func (t *Transport) stampData(dst int) (sendAt int64, seq uint64) {
+	seq = t.dataSeq[dst].Add(1)
+	if !t.clockReady.Load() {
+		return 0, seq
+	}
+	return t.alignedNow(), seq
+}
+
+// appendDataBody encodes a DATA frame body (src, tag, send stamp,
+// sequence, meta, data) after the length prefix and kind byte.
+func appendDataBody(b []byte, src, tag int, sendAt int64, seq uint64, data []float64, meta []int64) []byte {
 	b = appendU32(b, uint32(src))
 	b = appendU64(b, uint64(tag))
+	b = appendU64(b, uint64(sendAt))
+	b = appendU64(b, seq)
 	b = appendU32(b, uint32(len(meta)))
 	b = appendU32(b, uint32(len(data)))
 	for _, v := range meta {
@@ -811,6 +927,10 @@ func (pc *peerConn) writeLocked(t *Transport, b []byte, poll func()) (stall time
 		stall = time.Since(stallStart)
 	}
 	t.bytesOut.Add(int64(len(b)))
+	if pc.peer >= 0 && pc.peer < len(t.bytesTo) {
+		t.bytesTo[pc.peer].Add(int64(len(b)))
+		t.framesTo[pc.peer].Add(1)
+	}
 	return stall, nil
 }
 
@@ -856,6 +976,10 @@ func (t *Transport) reader(pc *peerConn) {
 			return
 		}
 		t.bytesIn.Add(int64(4 + n))
+		if pc.peer >= 0 && pc.peer < len(t.bytesFrom) {
+			t.bytesFrom[pc.peer].Add(int64(4 + n))
+			t.framesFrom[pc.peer].Add(1)
+		}
 		if t.opts.Recovery {
 			t.pstate[pc.peer].lastHeard.Store(time.Now().UnixNano())
 		}
@@ -894,6 +1018,44 @@ func (t *Transport) reader(pc *peerConn) {
 			}
 		case kHeartbeat:
 			// Liveness only; lastHeard was updated above.
+		case kClockReq:
+			if len(p) != 8 {
+				t.fail(fmt.Errorf("tcp: rank %d: corrupt clock request from rank %d", t.rank, pc.peer))
+				return
+			}
+			echo := binary.LittleEndian.Uint64(p)
+			if d := t.opts.clockRespDelay; d != nil {
+				if dd := d(); dd > 0 {
+					time.Sleep(dd)
+				}
+			}
+			// Respond with our aligned clock so offsets compose: probing
+			// any already-synced rank yields rank 0's timeline.
+			if _, err := pc.sendFrame(t, nil, kClockResp, func(b []byte) []byte {
+				b = appendU64(b, echo)
+				return appendU64(b, uint64(t.alignedNow()))
+			}); err != nil && !t.closing.Load() {
+				if t.opts.Recovery {
+					t.markPeerDown(pc.peer, pc, fmt.Errorf("clock response: %w", err))
+					return
+				}
+				t.fail(fmt.Errorf("tcp: rank %d clock response to rank %d: %w", t.rank, pc.peer, err))
+				return
+			}
+		case kClockResp:
+			if len(p) != 16 {
+				t.fail(fmt.Errorf("tcp: rank %d: corrupt clock response from rank %d", t.rank, pc.peer))
+				return
+			}
+			r := clockResp{
+				echo:   int64(binary.LittleEndian.Uint64(p[0:8])),
+				server: int64(binary.LittleEndian.Uint64(p[8:16])),
+				at:     time.Now().UnixNano(),
+			}
+			select {
+			case t.clockCh <- r:
+			default: // probe already timed out; drop the stale response
+			}
 		case kBarrier, kARVal:
 			c, err := decodeCtrl(kind, p)
 			if err != nil {
@@ -966,17 +1128,19 @@ func (t *Transport) readerExit(pc *peerConn, err error) {
 // buffers from the shared mpi pools; releasing the message ACKs the
 // sender.
 func (t *Transport) decodeData(pc *peerConn, p []byte) (*mpi.Message, error) {
-	if len(p) < 20 {
+	if len(p) < dataHdrLen {
 		return nil, fmt.Errorf("short body (%d bytes)", len(p))
 	}
 	src := int(binary.LittleEndian.Uint32(p[0:4]))
 	tag := int(int64(binary.LittleEndian.Uint64(p[4:12])))
-	nmeta := int(binary.LittleEndian.Uint32(p[12:16]))
-	ndata := int(binary.LittleEndian.Uint32(p[16:20]))
-	if want := 20 + 8*nmeta + 8*ndata; want != len(p) {
+	sendAt := int64(binary.LittleEndian.Uint64(p[12:20]))
+	seq := binary.LittleEndian.Uint64(p[20:28])
+	nmeta := int(binary.LittleEndian.Uint32(p[28:32]))
+	ndata := int(binary.LittleEndian.Uint32(p[32:36]))
+	if want := dataHdrLen + 8*nmeta + 8*ndata; want != len(p) {
 		return nil, fmt.Errorf("length mismatch: %d cells declared, %d bytes", want, len(p))
 	}
-	p = p[20:]
+	p = p[dataHdrLen:]
 	meta := mpi.GetMeta(nmeta)
 	for i := range meta {
 		meta[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
@@ -986,7 +1150,15 @@ func (t *Transport) decodeData(pc *peerConn, p []byte) (*mpi.Message, error) {
 	for i := range data {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
 	}
-	return mpi.NewMessage(src, tag, data, meta, func() { t.ack(pc) }), nil
+	if sendAt > 0 {
+		// Both stamps are on rank 0's clock, so the difference is the
+		// edge latency to within the clock-sync error bound.
+		t.latHist.ObserveNs(t.alignedNow() - sendAt)
+	}
+	m := mpi.NewMessage(src, tag, data, meta, func() { t.ack(pc) })
+	m.SendAtUnixNanos = sendAt
+	m.Seq = seq
+	return m, nil
 }
 
 func decodeCtrl(kind byte, p []byte) (ctrl, error) {
@@ -1274,6 +1446,7 @@ func (t *Transport) markPeerDown(peer int, pc *peerConn, cause error) {
 		default:
 		}
 	}
+	t.opts.observe(ObsPeerDown, peer, int64(lost))
 	t.opts.logf("tcp: rank %d: peer %d down (%v); %d unacked sends returned, awaiting rejoin",
 		t.rank, peer, cause, lost)
 }
@@ -1386,6 +1559,7 @@ func (t *Transport) handleRejoin(c net.Conn) {
 	if wasDown {
 		t.peerRestarts.Add(1)
 	}
+	t.opts.observe(ObsRejoin, peer, int64(len(replay)))
 	t.readers.Add(1)
 	go t.reader(pc)
 	for i, frame := range replay {
@@ -1396,6 +1570,7 @@ func (t *Transport) handleRejoin(c net.Conn) {
 			return
 		}
 	}
+	t.opts.observe(ObsReplay, peer, int64(len(replay)))
 	t.opts.logf("tcp: rank %d: peer %d rejoined; replayed %d data frames", t.rank, peer, len(replay))
 }
 
@@ -1465,6 +1640,12 @@ func DialRejoin(rank int, peers []string, opts Options) (*Transport, error) {
 		}
 	}
 	t.startBackground()
+	// Asynchronous on purpose: survivors replay retained DATA the
+	// moment the rejoin connections are up, and a replay larger than
+	// the inbox parks this endpoint's readers until the engine starts
+	// draining — a synchronous sync here would starve its own
+	// responses and trip the heartbeat monitor (see syncClock).
+	go t.syncClock()
 	return t, nil
 }
 

@@ -176,15 +176,15 @@ func TestBytesOnWire(t *testing.T) {
 		t.Fatal("recv failed")
 	}
 	m.Release()
-	// DATA frame: 4 len + 1 kind + 20 header + 8 meta + 24 data = 57.
+	// DATA frame: 4 len + 1 kind + 36 header + 8 meta + 24 data = 73.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if sent, _ := t0.Bytes(); sent >= 57 {
+		if sent, _ := t0.Bytes(); sent >= 73 {
 			break
 		}
 		if time.Now().After(deadline) {
 			sent, _ := t0.Bytes()
-			t.Fatalf("rank 0 sent %d bytes, want >= 57", sent)
+			t.Fatalf("rank 0 sent %d bytes, want >= 73", sent)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -192,11 +192,11 @@ func TestBytesOnWire(t *testing.T) {
 	for {
 		_, recvd := t1.Bytes()
 		sent, _ := t1.Bytes()
-		if recvd >= 57 && sent >= 5 {
+		if recvd >= 73 && sent >= 5 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("rank 1 bytes sent=%d recvd=%d, want >=5/>=57", sent, recvd)
+			t.Fatalf("rank 1 bytes sent=%d recvd=%d, want >=5/>=73", sent, recvd)
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one record of the Trace Event Format. Timestamps and
@@ -29,18 +30,27 @@ type chromeEvent struct {
 	PID   int32          `json:"pid"`
 	TID   int32          `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    int64          `json:"id,omitempty"` // flow-event binding id
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e" on finish)
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// chromeFile is the JSON-object container. The dpMeta key is our own
+// extension carrying the clock-alignment metadata; Perfetto and
+// chrome://tracing ignore unknown top-level keys, so the file stays
+// loadable in both. TraceMeta's absolute nanosecond fields stay int64
+// here (never float64 trace timestamps), because Unix nanoseconds
+// exceed float64's 53-bit integer range.
 type chromeFile struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	DPMeta          *TraceMeta    `json:"dpMeta,omitempty"`
 }
 
 // WriteChrome writes the trace as Chrome trace-event JSON.
 func (tr *Trace) WriteChrome(w io.Writer) error {
-	f := chromeFile{DisplayTimeUnit: "ms"}
-	f.TraceEvents = make([]chromeEvent, 0, len(tr.Events)+2*len(tr.Lanes))
+	f := chromeFile{DisplayTimeUnit: "ms", DPMeta: tr.Meta}
+	f.TraceEvents = make([]chromeEvent, 0, len(tr.Events)+2*len(tr.Lanes)+2*len(tr.Flows))
 	seenNode := map[int32]bool{}
 	for _, l := range tr.Lanes {
 		if !seenNode[l.Node] {
@@ -106,6 +116,17 @@ func (tr *Trace) WriteChrome(w io.Writer) error {
 		}
 		f.TraceEvents = append(f.TraceEvents, ce)
 	}
+	for _, fl := range tr.Flows {
+		name := "edge " + fl.Tile
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: name, Cat: "dp_edge", Phase: "s", ID: fl.ID,
+			TS: float64(fl.FromTS) / 1e3, PID: fl.FromNode, TID: fl.FromLane,
+			Args: map[string]any{"tile": fl.Tile, "dep": fl.Dep, "elems": fl.Elems},
+		}, chromeEvent{
+			Name: name, Cat: "dp_edge", Phase: "f", BP: "e", ID: fl.ID,
+			TS: float64(fl.ToTS) / 1e3, PID: fl.ToNode, TID: fl.ToLane,
+		})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
 }
@@ -120,7 +141,8 @@ func ParseChrome(r io.Reader) (*Trace, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
 	}
-	tr := &Trace{}
+	tr := &Trace{Meta: f.DPMeta}
+	flowStart := map[int64]*Flow{}
 	laneIdx := map[[2]int32]int{}
 	lane := func(node, id int32) *LaneInfo {
 		k := [2]int32{node, id}
@@ -142,6 +164,30 @@ func ParseChrome(r io.Reader) (*Trace, error) {
 				if c, ok := ce.Args["count"].(float64); ok {
 					lane(ce.PID, ce.TID).Dropped = uint64(c)
 				}
+			}
+			continue
+		}
+		if ce.Cat == "dp_edge" && (ce.Phase == "s" || ce.Phase == "f") {
+			fl := flowStart[ce.ID]
+			if fl == nil {
+				fl = &Flow{ID: ce.ID, Dep: -1}
+				flowStart[ce.ID] = fl
+			}
+			if ce.Phase == "s" {
+				fl.FromNode, fl.FromLane = ce.PID, ce.TID
+				fl.FromTS = int64(ce.TS * 1e3)
+				if t, ok := ce.Args["tile"].(string); ok {
+					fl.Tile = t
+				}
+				if d, ok := ce.Args["dep"].(float64); ok {
+					fl.Dep = int32(d)
+				}
+				if v, ok := ce.Args["elems"].(float64); ok {
+					fl.Elems = int64(v)
+				}
+			} else {
+				fl.ToNode, fl.ToLane = ce.PID, ce.TID
+				fl.ToTS = int64(ce.TS * 1e3)
 			}
 			continue
 		}
@@ -175,5 +221,9 @@ func ParseChrome(r io.Reader) (*Trace, error) {
 		lane(e.Node, e.Lane)
 		tr.Events = append(tr.Events, e)
 	}
+	for _, fl := range flowStart {
+		tr.Flows = append(tr.Flows, *fl)
+	}
+	sort.Slice(tr.Flows, func(i, j int) bool { return tr.Flows[i].ID < tr.Flows[j].ID })
 	return tr, nil
 }

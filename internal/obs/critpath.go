@@ -17,6 +17,18 @@
 // critical path is guaranteed to be at most the measured makespan.
 // Local delivery gaps are folded into the consumer's wait and counted
 // as zero.
+//
+// On a merged cross-rank trace the two timelines come from different
+// clocks, aligned only to within half the min-RTT of the offset probe
+// (see internal/mpi/tcp clock sync). Residual skew could order an
+// arrival after the consumer's own kernel end and break the invariant
+// above, so each chain extension through a dependence edge is clamped
+// to the producer-to-consumer kernel-end delta: the chain through
+// producer p into tile t grows by at most kernelEnd(t)-kernelEnd(p),
+// and never by a negative amount. By induction every chain ending at t
+// is then at most kernelEnd(t) minus the trace start, which keeps
+// CriticalPath <= Makespan on skewed merged traces while reducing to
+// the exact measured chain when timestamps are consistent.
 
 package obs
 
@@ -173,9 +185,22 @@ func CriticalPath(tr *Trace, offsets [][]int64) (*PathReport, error) {
 			if a, ok := arrivals[id][int32(j)]; ok && a.at > p.kernelEnd {
 				gap = time.Duration(a.at - p.kernelEnd)
 			}
-			if c := p.cpEnd + gap + span; c > t.cpEnd {
+			// Clamp the extension so clock skew on merged traces can
+			// never push a chain past the consumer's own kernel end.
+			ext := gap + span
+			if lim := time.Duration(t.kernelEnd - p.kernelEnd); ext > lim {
+				ext = lim
+			}
+			if ext < 0 {
+				ext = 0
+			}
+			computeExt := span
+			if computeExt > ext {
+				computeExt = ext
+			}
+			if c := p.cpEnd + ext; c > t.cpEnd {
 				t.cpEnd = c
-				t.cpCompute = p.cpCompute + span
+				t.cpCompute = p.cpCompute + computeExt
 				t.pred = pid
 			}
 		}

@@ -1,0 +1,188 @@
+// Cross-rank trace merging. Each rank of a distributed run writes its
+// own trace file with TraceMeta carrying the rank's wall-clock origin
+// and its estimated offset to rank 0's clock (from the transport's
+// ping-pong handshake). MergeRanks shifts every rank's events onto the
+// shared rank-0 timeline, rebases the whole run to start at zero, and
+// synthesizes Perfetto flow arrows by pairing cross-rank send and
+// receive events — producing the one clock-aligned, run-wide file that
+// `dprun -launch -trace` emits.
+
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeRanks merges per-rank traces of one distributed run into a
+// single clock-aligned trace. Every input must carry TraceMeta with a
+// distinct Rank and a non-zero OriginUnixNs; inputs are not modified.
+//
+// Alignment: an event at local trace time s in rank r's trace happened
+// at OriginUnixNs(r) + ClockOffsetNs(r) + s on rank 0's clock. The
+// merged timeline subtracts the earliest aligned origin, so merged
+// timestamps stay small enough to survive the float64 microsecond
+// representation of the Chrome trace format.
+func MergeRanks(traces []*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("obs: merge of zero traces")
+	}
+	seenRank := map[int]bool{}
+	seenNode := map[int32]int{}
+	var base int64
+	for i, t := range traces {
+		if t.Meta == nil || t.Meta.OriginUnixNs == 0 {
+			return nil, fmt.Errorf("obs: trace %d lacks clock-alignment metadata (not from a distributed run?)", i)
+		}
+		if t.Meta.Aligned {
+			return nil, fmt.Errorf("obs: trace %d is already merged", i)
+		}
+		if seenRank[t.Meta.Rank] {
+			return nil, fmt.Errorf("obs: two traces claim rank %d", t.Meta.Rank)
+		}
+		seenRank[t.Meta.Rank] = true
+		for _, l := range t.Lanes {
+			if r, ok := seenNode[l.Node]; ok && r != t.Meta.Rank {
+				return nil, fmt.Errorf("obs: node %d appears in traces of rank %d and rank %d", l.Node, r, t.Meta.Rank)
+			}
+			seenNode[l.Node] = t.Meta.Rank
+		}
+		origin := t.Meta.OriginUnixNs + t.Meta.ClockOffsetNs
+		if i == 0 || origin < base {
+			base = origin
+		}
+	}
+	merged := &Trace{
+		Meta: &TraceMeta{Rank: -1, Ranks: len(traces), OriginUnixNs: base, Aligned: true},
+	}
+	for _, t := range traces {
+		shift := t.Meta.OriginUnixNs + t.Meta.ClockOffsetNs - base
+		for _, e := range t.Events {
+			e.Start += shift
+			merged.Events = append(merged.Events, e)
+		}
+		merged.Lanes = append(merged.Lanes, t.Lanes...)
+	}
+	sort.SliceStable(merged.Events, func(i, j int) bool {
+		return merged.Events[i].Start < merged.Events[j].Start
+	})
+	sort.Slice(merged.Lanes, func(i, j int) bool {
+		if merged.Lanes[i].Node != merged.Lanes[j].Node {
+			return merged.Lanes[i].Node < merged.Lanes[j].Node
+		}
+		return merged.Lanes[i].Lane < merged.Lanes[j].Lane
+	})
+	merged.Flows = pairFlows(merged.Events)
+	return merged, nil
+}
+
+// pairFlows synthesizes cross-node flows from the aligned event stream:
+// each KSend is matched to the first unconsumed KRecv on a different
+// node with the same (tile, dep) identity. The engine stamps KSend with
+// the *consumer* tile and the dependence index, and the receiver stamps
+// KRecv identically, so the pair identifies one edge message without
+// any wire-level sequence plumbing. Replayed frames after a recovery
+// can leave unmatched events on either side; those simply get no arrow.
+func pairFlows(events []Event) []Flow {
+	type key struct {
+		tile string
+		dep  int32
+	}
+	recvs := map[key][]int{}
+	for i, e := range events {
+		if e.Kind == KRecv && e.Tile != "" && e.Dep >= 0 {
+			k := key{e.Tile, e.Dep}
+			recvs[k] = append(recvs[k], i)
+		}
+	}
+	var flows []Flow
+	var id int64
+	for _, e := range events {
+		if e.Kind != KSend || e.Tile == "" || e.Dep < 0 {
+			continue
+		}
+		k := key{e.Tile, e.Dep}
+		cands := recvs[k]
+		for n, ri := range cands {
+			r := events[ri]
+			if r.Node == e.Node {
+				continue
+			}
+			id++
+			flows = append(flows, Flow{
+				ID:   id,
+				Tile: e.Tile, Dep: e.Dep,
+				FromNode: e.Node, FromLane: e.Lane, FromTS: e.Start,
+				ToNode: r.Node, ToLane: r.Lane, ToTS: r.Start,
+				Elems: e.Val,
+			})
+			recvs[k] = append(cands[:n:n], cands[n+1:]...)
+			break
+		}
+	}
+	return flows
+}
+
+// VerifyMerged checks the invariants of a merged trace: metadata marks
+// it aligned, all timestamps are non-negative and globally sorted,
+// every flow references plausible endpoints, and — when strict — every
+// cross-node send pairs with exactly one receive and vice versa.
+// Strict pairing holds for clean runs; a run that survived a rank
+// failure replays retained frames, which legitimately leaves orphaned
+// sends (from the dead incarnation) and duplicate receives, so recovery
+// runs are verified with strict=false. It returns the list of violated
+// invariants, empty when the trace is sound.
+func VerifyMerged(tr *Trace, strict bool) []string {
+	var issues []string
+	bad := func(format string, a ...any) { issues = append(issues, fmt.Sprintf(format, a...)) }
+	if tr.Meta == nil || !tr.Meta.Aligned {
+		bad("trace is not marked clock-aligned")
+	}
+	for i, e := range tr.Events {
+		if e.Start < 0 {
+			bad("event %d (%s %s) has negative aligned timestamp %d", i, e.Kind, e.Tile, e.Start)
+			break
+		}
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Start < tr.Events[i-1].Start {
+			bad("events %d and %d are not in globally monotonic start order", i-1, i)
+			break
+		}
+	}
+	nodes := map[int32]bool{}
+	for _, l := range tr.Lanes {
+		nodes[l.Node] = true
+	}
+	var crossSends, crossRecvs int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KSend:
+			crossSends++
+		case KRecv:
+			crossRecvs++
+		}
+	}
+	seenFlow := map[int64]bool{}
+	for _, f := range tr.Flows {
+		if seenFlow[f.ID] {
+			bad("flow id %d appears twice", f.ID)
+		}
+		seenFlow[f.ID] = true
+		if f.FromNode == f.ToNode {
+			bad("flow %d (%s dep %d) is not cross-node", f.ID, f.Tile, f.Dep)
+		}
+		if !nodes[f.FromNode] || !nodes[f.ToNode] {
+			bad("flow %d references unknown node %d or %d", f.ID, f.FromNode, f.ToNode)
+		}
+	}
+	if strict {
+		if len(tr.Flows) != crossSends {
+			bad("%d send events but %d flows: some sends are unpaired", crossSends, len(tr.Flows))
+		}
+		if len(tr.Flows) != crossRecvs {
+			bad("%d recv events but %d flows: some receives are unpaired", crossRecvs, len(tr.Flows))
+		}
+	}
+	return issues
+}

@@ -77,6 +77,19 @@ const (
 	// KPeerRestart samples the transport's cumulative count of peers
 	// that died and successfully rejoined; Val is the count.
 	KPeerRestart
+	// KPeerDown marks the instant the transport declared a peer dead
+	// (heartbeat silence past the miss threshold or a hard connection
+	// error); Val is the peer rank.
+	KPeerDown
+	// KPark marks one send parked against a down peer for later replay;
+	// Val is the peer rank.
+	KPark
+	// KRejoin marks the instant a restarted peer re-established its
+	// connection; Val is the peer rank.
+	KRejoin
+	// KReplay marks the completion of retained-frame replay to a
+	// rejoined peer; Val is the number of frames replayed.
+	KReplay
 	kindCount
 )
 
@@ -84,6 +97,7 @@ var kindNames = [kindCount]string{
 	"ready", "pop", "unpack", "kernel", "pack",
 	"send", "recv", "stall", "idle", "pending_edges",
 	"checkpoint", "recover", "heartbeat_miss", "peer_restart",
+	"peer_down", "park", "rejoin", "replay",
 }
 
 func (k Kind) String() string {
@@ -191,6 +205,11 @@ func NewTracerCap(perLane int) *Tracer {
 // Now returns nanoseconds since the trace origin (monotonic).
 func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
 
+// Origin returns the trace origin: the wall-clock time event timestamp
+// zero corresponds to. Cross-rank trace merging aligns per-rank traces
+// by shifting each trace's origin onto rank 0's clock.
+func (t *Tracer) Origin() time.Time { return t.start }
+
 // At converts an absolute time to trace-origin nanoseconds.
 func (t *Tracer) At(tm time.Time) int64 { return int64(tm.Sub(t.start)) }
 
@@ -275,11 +294,78 @@ type LaneInfo struct {
 	Dropped uint64 `json:"dropped"` // events lost to ring overwrite
 }
 
+// TraceMeta carries the per-rank clock-alignment metadata a distributed
+// run stamps into each trace file. It is what lets MergeRanks place all
+// ranks' events on rank 0's timeline: an event at Start ns in this
+// trace happened at wall time OriginUnixNs + Start on the local clock,
+// which is OriginUnixNs + ClockOffsetNs + Start on rank 0's clock.
+type TraceMeta struct {
+	// Rank is the MPI rank that recorded the trace; -1 for a merged
+	// trace.
+	Rank int `json:"rank"`
+	// Ranks is the world size of the run.
+	Ranks int `json:"ranks"`
+	// OriginUnixNs is the trace origin (Tracer.Origin) as Unix
+	// nanoseconds on the recording rank's local clock.
+	OriginUnixNs int64 `json:"originUnixNs"`
+	// ClockOffsetNs is the estimated offset of rank 0's clock relative
+	// to this rank's (rank0 = local + offset), from the ping-pong
+	// estimation during the transport handshake. Zero on rank 0.
+	ClockOffsetNs int64 `json:"clockOffsetNs"`
+	// ClockRTTNs is the round-trip time of the min-RTT probe the offset
+	// was taken from; the estimation error is bounded by ClockRTTNs/2.
+	ClockRTTNs int64 `json:"clockRttNs"`
+	// Aligned is true once all event timestamps have been shifted onto
+	// the shared run timeline (the output of MergeRanks).
+	Aligned bool `json:"aligned,omitempty"`
+}
+
+// Flow is one cross-rank message arrow: a remote dependence edge leaving
+// a producer rank's send span and arriving at a consumer rank's receive
+// instant. Flows are synthesized at merge time by pairing KSend and
+// KRecv events on (Tile, Dep) identity and render as Perfetto flow
+// arrows.
+type Flow struct {
+	// ID is the flow's identity in the Chrome trace (unique per trace,
+	// starting at 1).
+	ID int64 `json:"id"`
+	// Tile and Dep identify the dependence edge: the consumer tile and
+	// the index of the dependence that the message satisfies.
+	Tile string `json:"tile"`
+	Dep  int32  `json:"dep"`
+	// FromNode/FromLane/FromTS locate the producer's send event
+	// (aligned ns); ToNode/ToLane/ToTS the consumer's receive event.
+	FromNode int32 `json:"fromNode"`
+	FromLane int32 `json:"fromLane"`
+	FromTS   int64 `json:"fromTs"`
+	ToNode   int32 `json:"toNode"`
+	ToLane   int32 `json:"toLane"`
+	ToTS     int64 `json:"toTs"`
+	// Elems is the element count of the edge payload.
+	Elems int64 `json:"elems"`
+}
+
+// LatencyNs returns the send-start-to-arrival latency of the flow on
+// the aligned timeline, clamped at zero (clock-offset error can make a
+// very fast edge appear to arrive before it was sent).
+func (f Flow) LatencyNs() int64 {
+	if l := f.ToTS - f.FromTS; l > 0 {
+		return l
+	}
+	return 0
+}
+
 // Trace is an immutable snapshot of a tracer: all surviving events in
 // global start-time order.
 type Trace struct {
 	Events []Event
 	Lanes  []LaneInfo
+	// Meta is the clock-alignment metadata of a distributed run; nil
+	// for single-process and simulated traces.
+	Meta *TraceMeta
+	// Flows are the cross-rank message arrows of a merged trace (see
+	// MergeRanks); empty otherwise.
+	Flows []Flow
 }
 
 // Snapshot collects the current contents of every lane. Call it only

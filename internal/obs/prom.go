@@ -23,6 +23,10 @@ type NodeMetrics struct {
 	EdgesSent        int64   `json:"edges_sent"`
 	EdgesRecv        int64   `json:"edges_recv"`
 	ElemsSent        int64   `json:"elems_sent"`
+	// ElemsRecv and BytesRecv are the receive-side counterparts of
+	// ElemsSent/BytesSent, folded from KRecv events.
+	ElemsRecv int64 `json:"elems_recv"`
+	BytesRecv int64 `json:"bytes_recv"`
 	// BytesSent is the payload volume of sent edges (8 bytes per
 	// float64 element). It is derived from the same KSend trace events
 	// on every transport; the TCP transport additionally counts exact
@@ -46,6 +50,10 @@ type NodeMetrics struct {
 type Metrics struct {
 	MakespanSeconds float64       `json:"makespan_seconds"`
 	Nodes           []NodeMetrics `json:"nodes"`
+	// EdgeLatency is the distribution of cross-rank edge latencies from
+	// the merged trace's flow events (dp_edge_latency_seconds); nil when
+	// the trace has no flows.
+	EdgeLatency *HistogramSnapshot `json:"edge_latency,omitempty"`
 }
 
 // Metrics folds the trace into per-node aggregates.
@@ -81,6 +89,8 @@ func (tr *Trace) Metrics() *Metrics {
 			nm.BytesSent += 8 * e.Val
 		case KRecv:
 			nm.EdgesRecv++
+			nm.ElemsRecv += e.Val
+			nm.BytesRecv += 8 * e.Val
 		case KPending:
 			if e.Val > nm.PendingEdgesPeak {
 				nm.PendingEdgesPeak = e.Val
@@ -105,6 +115,14 @@ func (tr *Trace) Metrics() *Metrics {
 		m.Nodes = append(m.Nodes, *nm)
 	}
 	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].Node < m.Nodes[j].Node })
+	if len(tr.Flows) > 0 {
+		h := NewHistogram()
+		for _, fl := range tr.Flows {
+			h.ObserveNs(fl.LatencyNs())
+		}
+		snap := h.Snapshot()
+		m.EdgeLatency = &snap
+	}
 	return m
 }
 
@@ -135,6 +153,10 @@ var promFamilies = []promFamily{
 		func(n *NodeMetrics) any { return n.ElemsSent }},
 	{"dp_edge_bytes_sent_total", "counter", "Payload bytes sent in remote edges per node (8 per element; excludes framing).",
 		func(n *NodeMetrics) any { return n.BytesSent }},
+	{"dp_edge_elems_recv_total", "counter", "Float64 elements received in remote edges per node.",
+		func(n *NodeMetrics) any { return n.ElemsRecv }},
+	{"dp_edge_bytes_recv_total", "counter", "Payload bytes received in remote edges per node (8 per element; excludes framing).",
+		func(n *NodeMetrics) any { return n.BytesRecv }},
 	{"dp_pending_edges_peak", "gauge", "Peak sampled pending-edge count per node (Figure 4 quantity).",
 		func(n *NodeMetrics) any { return n.PendingEdgesPeak }},
 	{"dp_trace_events_dropped_total", "counter", "Trace events lost to ring-buffer overwrite per node.",
@@ -165,6 +187,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s{node=\"%d\"} %s\n", f.name, nm.Node, promNum(f.val(nm))); err != nil {
 				return err
 			}
+		}
+	}
+	if m.EdgeLatency != nil {
+		if err := m.EdgeLatency.WritePrometheus(w,
+			"dp_edge_latency_seconds", "Cross-rank edge latency (send start to arrival, clock-aligned).", ""); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,238 @@
+// The run-wide report: per-rank busy/stall/comm breakdowns, the load
+// imbalance ratio, top-k straggler tiles and the cross-rank critical
+// path, computed over a (merged) trace. This is the `dprun -report`
+// analyzer — the evidence the paper's Figures 6 and 7 discussion needs:
+// which rank is the straggler, whether the slowdown is stall, idle or
+// kernel time, and how close the run sits to its latency bound.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// RankBreakdown is the time breakdown of one rank (node) in a report.
+type RankBreakdown struct {
+	// Node is the rank/node id.
+	Node int32 `json:"node"`
+	// Tiles is the number of tiles the rank executed.
+	Tiles int64 `json:"tiles"`
+	// ComputeSeconds is kernel plus unpack time; CommSeconds is pack
+	// and send time (including send-buffer stalls' enclosing pack
+	// spans); StallSeconds is time blocked in sends on exhausted
+	// buffers; IdleSeconds is time with no ready tile. All are sums
+	// over the rank's worker lanes.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	StallSeconds   float64 `json:"stall_seconds"`
+	IdleSeconds    float64 `json:"idle_seconds"`
+}
+
+// BusySeconds is compute plus communication time.
+func (r RankBreakdown) BusySeconds() float64 { return r.ComputeSeconds + r.CommSeconds }
+
+// Straggler is one of the slowest tiles of the run: the tiles whose
+// ready-to-done latency is largest, i.e. where the schedule lost the
+// most time between an available tile and its completion.
+type Straggler struct {
+	// Tile is the tile id; Node the rank that executed it.
+	Tile string `json:"tile"`
+	Node int32  `json:"node"`
+	// WaitSeconds is ready-to-claim latency, ExecSeconds claim-to-
+	// kernel-end, TotalSeconds their sum.
+	WaitSeconds  float64 `json:"wait_seconds"`
+	ExecSeconds  float64 `json:"exec_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// RunReport is the full analyzer output.
+type RunReport struct {
+	// MakespanSeconds is the traced end-to-end run time.
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	// Ranks is the per-rank breakdown, ordered by node id.
+	Ranks []RankBreakdown `json:"ranks"`
+	// ImbalanceRatio is max busy time over mean busy time across ranks
+	// (1.0 = perfectly balanced).
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+	// CritPath is the (cross-rank) critical-path analysis.
+	CritPath *PathReport `json:"-"`
+	// Stragglers are the top-k tiles by ready-to-done latency.
+	Stragglers []Straggler `json:"stragglers"`
+	// Flows is the number of cross-rank message arrows in the trace;
+	// EdgeLatency their latency distribution (nil without flows).
+	Flows       int                `json:"flows"`
+	EdgeLatency *HistogramSnapshot `json:"edge_latency,omitempty"`
+}
+
+// BuildReport computes the run report over a trace. offsets are the
+// tile-space dependence offsets as for CriticalPath; topK bounds the
+// straggler list (<=0 means 5).
+func BuildReport(tr *Trace, offsets [][]int64, topK int) (*RunReport, error) {
+	if topK <= 0 {
+		topK = 5
+	}
+	rep := &RunReport{MakespanSeconds: tr.Makespan().Seconds()}
+	byNode := map[int32]*RankBreakdown{}
+	get := func(node int32) *RankBreakdown {
+		b := byNode[node]
+		if b == nil {
+			b = &RankBreakdown{Node: node}
+			byNode[node] = b
+		}
+		return b
+	}
+	type tileState struct {
+		node                    int32
+		ready, claim, kernelEnd int64
+		haveReady, haveClaim    bool
+		haveEnd                 bool
+	}
+	tiles := map[string]*tileState{}
+	tile := func(id string) *tileState {
+		t := tiles[id]
+		if t == nil {
+			t = &tileState{}
+			tiles[id] = t
+		}
+		return t
+	}
+	for _, e := range tr.Events {
+		sec := float64(e.Dur) / 1e9
+		switch e.Kind {
+		case KKernel:
+			b := get(e.Node)
+			b.Tiles++
+			b.ComputeSeconds += sec
+			if e.Tile != "" {
+				t := tile(e.Tile)
+				t.node = e.Node
+				if !t.haveEnd || e.End() > t.kernelEnd {
+					t.kernelEnd = e.End()
+					t.haveEnd = true
+				}
+			}
+		case KUnpack:
+			get(e.Node).ComputeSeconds += sec
+		case KPack, KSend:
+			get(e.Node).CommSeconds += sec
+		case KStall:
+			get(e.Node).StallSeconds += sec
+		case KIdle:
+			get(e.Node).IdleSeconds += sec
+		case KReady:
+			if e.Tile != "" {
+				t := tile(e.Tile)
+				if !t.haveReady || e.Start < t.ready {
+					t.ready = e.Start
+					t.haveReady = true
+				}
+			}
+		case KPop:
+			if e.Tile != "" {
+				t := tile(e.Tile)
+				if !t.haveClaim || e.Start < t.claim {
+					t.claim = e.Start
+					t.haveClaim = true
+				}
+			}
+		}
+	}
+	// KPack spans enclose the stall time of their sends; count stall
+	// separately, not twice.
+	for _, b := range byNode {
+		if b.CommSeconds > b.StallSeconds {
+			b.CommSeconds -= b.StallSeconds
+		}
+	}
+	var sumBusy, maxBusy float64
+	for _, b := range byNode {
+		rep.Ranks = append(rep.Ranks, *b)
+		busy := b.BusySeconds()
+		sumBusy += busy
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Node < rep.Ranks[j].Node })
+	if len(rep.Ranks) > 0 && sumBusy > 0 {
+		rep.ImbalanceRatio = maxBusy * float64(len(rep.Ranks)) / sumBusy
+	}
+	for id, t := range tiles {
+		if !t.haveReady || !t.haveEnd {
+			continue
+		}
+		s := Straggler{Tile: id, Node: t.node}
+		claim := t.claim
+		if !t.haveClaim || claim < t.ready {
+			claim = t.ready
+		}
+		s.WaitSeconds = float64(claim-t.ready) / 1e9
+		s.ExecSeconds = float64(t.kernelEnd-claim) / 1e9
+		s.TotalSeconds = float64(t.kernelEnd-t.ready) / 1e9
+		rep.Stragglers = append(rep.Stragglers, s)
+	}
+	sort.Slice(rep.Stragglers, func(i, j int) bool {
+		if rep.Stragglers[i].TotalSeconds != rep.Stragglers[j].TotalSeconds {
+			return rep.Stragglers[i].TotalSeconds > rep.Stragglers[j].TotalSeconds
+		}
+		return rep.Stragglers[i].Tile < rep.Stragglers[j].Tile
+	})
+	if len(rep.Stragglers) > topK {
+		rep.Stragglers = rep.Stragglers[:topK]
+	}
+	rep.Flows = len(tr.Flows)
+	if len(tr.Flows) > 0 {
+		h := NewHistogram()
+		for _, fl := range tr.Flows {
+			h.ObserveNs(fl.LatencyNs())
+		}
+		snap := h.Snapshot()
+		rep.EdgeLatency = &snap
+	}
+	if len(offsets) > 0 {
+		cp, err := CriticalPath(tr, offsets)
+		if err != nil {
+			return nil, err
+		}
+		rep.CritPath = cp
+	}
+	return rep, nil
+}
+
+// WriteText renders the report for terminals.
+func (rep *RunReport) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "run report: makespan %v, %d ranks, %d cross-rank edges\n",
+		time.Duration(rep.MakespanSeconds*1e9).Round(time.Microsecond), len(rep.Ranks), rep.Flows)
+	fmt.Fprintf(w, "  %-6s %8s %12s %12s %12s %12s %12s\n",
+		"rank", "tiles", "busy", "compute", "comm", "stall", "idle")
+	for _, b := range rep.Ranks {
+		fmt.Fprintf(w, "  %-6d %8d %12s %12s %12s %12s %12s\n",
+			b.Node, b.Tiles,
+			fmtSec(b.BusySeconds()), fmtSec(b.ComputeSeconds), fmtSec(b.CommSeconds),
+			fmtSec(b.StallSeconds), fmtSec(b.IdleSeconds))
+	}
+	fmt.Fprintf(w, "  load imbalance ratio: %.3f (max busy / mean busy)\n", rep.ImbalanceRatio)
+	if rep.EdgeLatency != nil {
+		fmt.Fprintf(w, "  edge latency: p50 <= %s, p95 <= %s, p99 <= %s over %d edges\n",
+			fmtSec(rep.EdgeLatency.Quantile(0.50)), fmtSec(rep.EdgeLatency.Quantile(0.95)),
+			fmtSec(rep.EdgeLatency.Quantile(0.99)), rep.EdgeLatency.Count)
+	}
+	if len(rep.Stragglers) > 0 {
+		fmt.Fprintf(w, "  top straggler tiles (ready -> done):\n")
+		for _, s := range rep.Stragglers {
+			fmt.Fprintf(w, "    tile %-12s rank %-3d total %s (wait %s + exec %s)\n",
+				s.Tile, s.Node, fmtSec(s.TotalSeconds), fmtSec(s.WaitSeconds), fmtSec(s.ExecSeconds))
+		}
+	}
+	if rep.CritPath != nil {
+		fmt.Fprintf(w, "  %s\n", rep.CritPath.String())
+	}
+	return nil
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * 1e9).Round(time.Microsecond).String()
+}
