@@ -23,7 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+
+	"dpgen/internal/engine"
 )
 
 type experiment struct {
@@ -55,10 +59,28 @@ func main() {
 		metrics = flag.String("metrics", "", "directory for per-run metrics snapshots (<exp>-<n>.json and .prom) of the runtime experiments")
 		benchJSON = flag.String("bench-json", "", "write an engine throughput snapshot (ns/cell per builtin at fixed configs) to this file and exit")
 		benchBase = flag.String("bench-against", "", "older -bench-json snapshot to compare against (fills baseline_ns_per_cell/speedup)")
+		benchThreads = flag.String("bench-threads", "1,4", "comma-separated thread counts for the paper-scale -bench-json rows, measured back-to-back")
+		benchSched   = flag.String("bench-sched", "hybrid", "tile scheduler for -bench-json rows: hybrid, dynamic")
+		minScaling   = flag.String("min-scaling", "", "thread-scaling assertions for -bench-json, e.g. 'lcs2@paper=1.5' (skipped when the host has fewer CPUs than the row's threads)")
 	)
 	flag.Parse()
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchBase); err != nil {
+		threads, err := parseThreadList(*benchThreads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		var sched engine.Sched
+		switch *benchSched {
+		case "hybrid":
+			sched = engine.SchedHybrid
+		case "dynamic":
+			sched = engine.SchedDynamic
+		default:
+			fmt.Fprintf(os.Stderr, "dpbench: unknown -bench-sched %q\n", *benchSched)
+			os.Exit(1)
+		}
+		if err := runBenchJSON(*benchJSON, *benchBase, threads, sched, *minScaling); err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -105,4 +127,20 @@ func pick(quick bool, q, full int64) int64 {
 		return q
 	}
 	return full
+}
+
+// parseThreadList parses the -bench-threads comma list into ascending
+// positive thread counts (ascending so every sweep row can be related
+// to an earlier t1 row).
+func parseThreadList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -bench-threads entry %q", f)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
 }

@@ -73,6 +73,7 @@ func main() {
 		groups   = flag.Int("groups", 1, "ready-queue groups per node (Sec VII-C)")
 		polling  = flag.Bool("polling", false, "poll for edges in workers instead of a receiver goroutine (Sec V-A)")
 		priority = flag.String("priority", "column", "tile priority: column, levelset, fifo")
+		sched    = flag.String("sched", "hybrid", "tile scheduler: hybrid (static wavefront + dynamic), dynamic (dependence-count everything)")
 		balOpt   = flag.String("balance", "prefix", "load balancer: prefix, hyperplane")
 		check    = flag.Bool("check", false, "verify against the serial reference solver")
 		stats    = flag.Bool("stats", false, "print per-node statistics")
@@ -219,6 +220,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -balance %q", *balOpt))
 	}
+	switch *sched {
+	case "hybrid":
+		cfg.Sched = dpgen.SchedHybrid
+	case "dynamic":
+		cfg.Sched = dpgen.SchedDynamic
+	default:
+		fatal(fmt.Errorf("unknown -sched %q", *sched))
+	}
 
 	if *obsAddr != "" {
 		srv, err := dpgen.ServeObs(*obsAddr, liveMetrics(cfg.Transport))
@@ -256,6 +265,8 @@ func main() {
 			fmt.Printf("node %d: tiles %d cells %d sent %d recv %d local %d peak_edges %d peak_elems %d idle %s send_stall %s\n",
 				i, st.TilesExecuted, st.CellsComputed, st.EdgesSentRemote, st.EdgesRecvRemote,
 				st.EdgesLocal, st.PeakPendingEdges, st.PeakBufferedElems, st.IdleTime, st.SendStallTime)
+			fmt.Printf("node %d: sched static_tiles %d steals %d local_pops %d queue_peak %d\n",
+				i, st.StaticTiles, st.Steals, st.LocalPops, st.QueueDepthPeak)
 			if *ckptDir != "" {
 				fmt.Printf("node %d: ckpts %d ckpt_bytes %d dup_dropped %d hb_misses %d peer_restarts %d\n",
 					i, st.Checkpoints, st.CheckpointBytes, st.EdgesDroppedDup,

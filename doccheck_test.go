@@ -18,6 +18,7 @@ var docCheckedPackages = []string{
 	"internal/mpi/tcp",
 	"internal/engine",
 	"internal/tiling",
+	"internal/obs",
 }
 
 // TestGodocCoverage fails for every exported top-level identifier (and

@@ -80,6 +80,18 @@ const (
 	FIFO        = engine.FIFO
 )
 
+// Sched selects the tile scheduler (Config.Sched).
+type Sched = engine.Sched
+
+// Schedulers: SchedHybrid (the default) precomputes a wavefront order
+// for interior tiles with node-local producers and dependence-counts the
+// rest; SchedDynamic dependence-counts every tile. Bit-identical
+// results.
+const (
+	SchedHybrid  = engine.SchedHybrid
+	SchedDynamic = engine.SchedDynamic
+)
+
 // BalanceMethod selects the static load balancer.
 type BalanceMethod = balance.Method
 

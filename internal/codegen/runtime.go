@@ -2,8 +2,12 @@ package codegen
 
 // runtimeSrc is the problem-independent half of every generated program:
 // the hybrid scheduler of Section V, monomorphized against the generated
-// dp* symbols. It deliberately avoids backquoted strings so it can live
-// in this raw literal.
+// dp* symbols. It mirrors the library engine's hybrid static/dynamic
+// scheduler (internal/engine/sched.go): per-worker ready-queue shards
+// with randomized work stealing, and a precomputed wavefront order for
+// tiles whose producers are all node-local, gated by one atomic counter
+// per level instead of a pending-table entry each. It deliberately
+// avoids backquoted strings so it can live in this raw literal.
 const runtimeSrc = `// ---- hybrid runtime (generated, problem independent) ----
 //
 // Inter-node edges travel over bounded channels with send-buffer
@@ -16,6 +20,7 @@ var (
 	flagThreads  = flag.Int("threads", runtime.NumCPU(), "worker threads per node (OpenMP analog)")
 	flagSendBufs = flag.Int("sendbufs", 4, "send buffers per node")
 	flagRecvBufs = flag.Int("recvbufs", 16, "receive buffers per node")
+	flagSched    = flag.String("sched", "hybrid", "tile scheduler: hybrid (precomputed wavefront for same-owner work) or dynamic (dependence-count everything)")
 	flagStats    = flag.Bool("stats", false, "print per-node statistics")
 )
 
@@ -47,6 +52,15 @@ func dpMin(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+func dpAtomicMax(addr *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(addr)
+		if v <= old || atomic.CompareAndSwapInt64(addr, old, v) {
+			return
+		}
+	}
 }
 
 // dpDepCount counts the tile dependencies of t that exist in the tile
@@ -83,6 +97,18 @@ func dpKeyOf(t *[dpDims]int64) [dpDims]int64 {
 		k[i] = dpKeyDirs[i] * t[dpKeyDims[i]]
 	}
 	return k
+}
+
+// dpLevelOf is the wavefront level of a tile: the negated sum of its
+// oriented priority-key components. Every producer sits at a strictly
+// lower level than its consumers, so levels are a topological order of
+// the tile DAG.
+func dpLevelOf(t *[dpDims]int64) int64 {
+	var lv int64
+	for i := 0; i < dpDims; i++ {
+		lv -= dpKeyDirs[i] * t[dpKeyDims[i]]
+	}
+	return lv
 }
 
 // dpBuildOwnership statically assigns tiles to nodes: slab work along
@@ -151,8 +177,14 @@ type dpPend struct {
 	remaining int
 	edges     []dpEdgeMsg
 	key       [dpDims]int64
+	level     int64
 	seq       int64
 	index     int
+	group     int
+	// static marks a wavefront-scheduled tile: its edges slice has one
+	// preallocated slot per tile dependence, written in place by its
+	// producers instead of appended under the pending-table lock.
+	static bool
 }
 
 type dpHeap []*dpPend
@@ -186,14 +218,192 @@ func (h *dpHeap) Pop() interface{} {
 	return p
 }
 
+// dpShard is one worker's slice of its node's ready queue: a priority
+// heap of dynamically released tiles and a deque of statically released
+// wavefront tiles. The owner pops the heap first, then the deque's tail
+// (LIFO); a thief takes the victim's best heap tile or the deque's head
+// (FIFO).
+type dpShard struct {
+	mu     sync.Mutex
+	heap   dpHeap
+	dq     []*dpPend
+	dqHead int
+	rng    uint64
+}
+
+func (s *dpShard) popLocal() *dpPend {
+	if s.heap.Len() > 0 {
+		return heap.Pop(&s.heap).(*dpPend)
+	}
+	if n := len(s.dq); n > s.dqHead {
+		p := s.dq[n-1]
+		s.dq[n-1] = nil
+		s.dq = s.dq[:n-1]
+		if s.dqHead == len(s.dq) {
+			s.dq = s.dq[:0]
+			s.dqHead = 0
+		}
+		return p
+	}
+	return nil
+}
+
+func (s *dpShard) stealOne() *dpPend {
+	if s.heap.Len() > 0 {
+		return heap.Pop(&s.heap).(*dpPend)
+	}
+	if s.dqHead < len(s.dq) {
+		p := s.dq[s.dqHead]
+		s.dq[s.dqHead] = nil
+		s.dqHead++
+		if s.dqHead == len(s.dq) {
+			s.dq = s.dq[:0]
+			s.dqHead = 0
+		}
+		return p
+	}
+	return nil
+}
+
+func dpXorshift(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// dpSched is a node's static-phase state: wavefront-ordered same-owner
+// tiles and one release counter per level. remain counts every owned
+// tile of the level (static or dynamic) because a static tile may
+// consume edges from a dynamic tile at any lower level.
+type dpSched struct {
+	minLevel int64
+	remain   []int64
+	levels   [][]*dpPend
+	idx      map[[dpDims]int64]*dpPend
+	total    int64
+
+	fmu      sync.Mutex
+	frontier int
+	rr       int
+}
+
+// dpBuildStatic classifies tiles at partition time: a tile whose
+// producers all exist on the owning node becomes a static entry,
+// executed in wavefront-level order with no pending-table traffic.
+func dpBuildStatic(g *dpGlobal) {
+	lo, hi := int64(1)<<62, -(int64(1) << 62)
+	dpForEachTile(func(t [dpDims]int64) bool {
+		lv := dpLevelOf(&t)
+		if lv < lo {
+			lo = lv
+		}
+		if lv > hi {
+			hi = lv
+		}
+		return true
+	})
+	if hi < lo {
+		return
+	}
+	nlv := int(hi - lo + 1)
+	for _, n := range g.nodes {
+		n.sd = &dpSched{
+			minLevel: lo,
+			remain:   make([]int64, nlv),
+			levels:   make([][]*dpPend, nlv),
+			idx:      map[[dpDims]int64]*dpPend{},
+		}
+	}
+	dpForEachTile(func(t [dpDims]int64) bool {
+		own := g.owner[dpLBKeyOf(&t)]
+		n := g.nodes[own]
+		lv := dpLevelOf(&t)
+		li := int(lv - lo)
+		n.sd.remain[li]++
+		nprod := 0
+		static := true
+		for j := 0; j < dpNumTileDeps; j++ {
+			var pr [dpDims]int64
+			for k := 0; k < dpDims; k++ {
+				pr[k] = t[k] + dpTileDepOffsets[j][k]
+			}
+			if !dpTileInSpace(&pr) {
+				continue
+			}
+			nprod++
+			if g.owner[dpLBKeyOf(&pr)] != own {
+				static = false
+				break
+			}
+		}
+		if !static || nprod == 0 {
+			return true // initial tiles are seeded, not released
+		}
+		p := &dpPend{tile: t, key: dpKeyOf(&t), level: lv, static: true,
+			edges: make([]dpEdgeMsg, dpNumTileDeps)}
+		n.sd.levels[li] = append(n.sd.levels[li], p)
+		n.sd.idx[t] = p
+		n.sd.total++
+		return true
+	})
+}
+
+// advance releases every fully unblocked level: the frontier level's
+// static tiles go round-robin into the worker shards, then the frontier
+// moves past each level whose owned-tile counter has drained. A static
+// tile's producers all sit at strictly lower levels, so release at
+// frontier arrival is safe; released levels are nilled, making
+// re-entry idempotent.
+func (sd *dpSched) advance(n *dpNode) {
+	sd.fmu.Lock()
+	for sd.frontier < len(sd.remain) {
+		for _, p := range sd.levels[sd.frontier] {
+			p.seq = atomic.AddInt64(&n.seqA, 1)
+			p.group = sd.rr % len(n.shards)
+			sd.rr++
+			n.enqueue(p)
+		}
+		sd.levels[sd.frontier] = nil
+		if atomic.LoadInt64(&sd.remain[sd.frontier]) != 0 {
+			break
+		}
+		sd.frontier++
+	}
+	sd.fmu.Unlock()
+}
+
+// tileRetired is the scheduler epilogue of every executed tile: its
+// level counter drops, and a drained frontier level releases the next
+// wavefront.
+func (n *dpNode) tileRetired(p *dpPend) {
+	sd := n.sd
+	if sd == nil {
+		return
+	}
+	if atomic.AddInt64(&sd.remain[p.level-sd.minLevel], -1) == 0 {
+		sd.advance(n)
+	}
+}
+
 type dpNode struct {
-	id      int
-	mu      sync.Mutex
-	cond    *sync.Cond
+	id   int
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+
+	pendMu  sync.Mutex
 	pending map[[dpDims]int64]*dpPend
-	ready   dpHeap
-	done    bool
-	seq     int64
+
+	shards   []dpShard
+	qlen     int64
+	epoch    uint64
+	sleepers int32
+	seqA     int64
+
+	sd *dpSched
 
 	owned    int64
 	executed int64
@@ -201,8 +411,9 @@ type dpNode struct {
 	inbox chan dpMsg
 	slots chan struct{}
 
-	tiles, cells, sentRemote, recvRemote, localEdges int64
-	sentElems, peakEdges, liveEdges                  int64
+	steals, localPops, recvRemote, liveEdges, peakEdges int64
+
+	tiles, cells, sentRemote, localEdges, sentElems int64
 }
 
 type dpGlobal struct {
@@ -217,68 +428,162 @@ type dpGlobal struct {
 	maxSet  bool
 }
 
-func (n *dpNode) worker(g *dpGlobal) {
+// dpShardOf hashes a tile to its home shard (FNV-1a), fixing which
+// worker's queue a dynamic tile lands in.
+func dpShardOf(n *dpNode, t *[dpDims]int64) int {
+	if len(n.shards) <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for k := 0; k < dpDims; k++ {
+		h ^= uint64(t[k])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(n.shards)))
+}
+
+// popAny claims a tile for worker w: its own shard first, then the
+// other shards in a randomized rotation.
+func (n *dpNode) popAny(w int) *dpPend {
+	s := &n.shards[w]
+	s.mu.Lock()
+	p := s.popLocal()
+	s.mu.Unlock()
+	if p != nil {
+		atomic.AddInt64(&n.qlen, -1)
+		atomic.AddInt64(&n.localPops, 1)
+		return p
+	}
+	ns := len(n.shards)
+	if ns == 1 || atomic.LoadInt64(&n.qlen) == 0 {
+		return nil
+	}
+	start := int(dpXorshift(&s.rng) % uint64(ns-1))
+	for i := 0; i < ns-1; i++ {
+		v := &n.shards[(w+1+(start+i)%(ns-1))%ns]
+		v.mu.Lock()
+		p = v.stealOne()
+		v.mu.Unlock()
+		if p != nil {
+			atomic.AddInt64(&n.qlen, -1)
+			atomic.AddInt64(&n.steals, 1)
+			return p
+		}
+	}
+	return nil
+}
+
+// enqueue makes a tile runnable. The epoch bump makes the wakeup
+// race-free: a worker only commits to sleeping if the epoch it read
+// before its empty scan is still current, so either it sees this push
+// and rescans, or its sleeper registration is visible here and the
+// signal lands.
+func (n *dpNode) enqueue(p *dpPend) {
+	s := &n.shards[p.group]
+	s.mu.Lock()
+	if p.static {
+		s.dq = append(s.dq, p)
+	} else {
+		heap.Push(&s.heap, p)
+	}
+	s.mu.Unlock()
+	atomic.AddInt64(&n.qlen, 1)
+	atomic.AddUint64(&n.epoch, 1)
+	if atomic.LoadInt32(&n.sleepers) > 0 {
+		n.mu.Lock()
+		n.cond.Signal()
+		n.mu.Unlock()
+	}
+}
+
+func (n *dpNode) worker(g *dpGlobal, w int) {
 	V := make([]dpElem, dpAllocLen)
 	for {
-		n.mu.Lock()
-		for n.ready.Len() == 0 && !n.done {
-			n.cond.Wait()
+		e0 := atomic.LoadUint64(&n.epoch)
+		if p := n.popAny(w); p != nil {
+			n.exec(g, p, V)
+			continue
 		}
-		if n.ready.Len() == 0 {
+		n.mu.Lock()
+		if n.done {
 			n.mu.Unlock()
 			return
 		}
-		p := heap.Pop(&n.ready).(*dpPend)
+		atomic.AddInt32(&n.sleepers, 1)
+		if atomic.LoadUint64(&n.epoch) != e0 {
+			atomic.AddInt32(&n.sleepers, -1)
+			n.mu.Unlock()
+			continue
+		}
+		n.cond.Wait()
+		atomic.AddInt32(&n.sleepers, -1)
 		n.mu.Unlock()
-		n.exec(g, p, V)
 	}
 }
 
 func (n *dpNode) receiver(g *dpGlobal) {
 	for m := range n.inbox {
-		n.mu.Lock()
-		n.recvRemote++
-		n.mu.Unlock()
+		atomic.AddInt64(&n.recvRemote, 1)
 		n.deliver(m.dep, m.consumer, m.data)
 		<-m.slot // release the sender's send buffer
 	}
 }
 
 func (n *dpNode) deliver(dep int, consumer [dpDims]int64, data []dpElem) {
-	n.mu.Lock()
+	if sd := n.sd; sd != nil {
+		if p := sd.idx[consumer]; p != nil {
+			// Static consumer: each edge slot has exactly one producer,
+			// and the frontier releases the tile only after every lower
+			// level - the producer included - has retired, so the plain
+			// slot write is safe and skips the pending table entirely.
+			p.edges[dep] = dpEdgeMsg{dep: dep, data: data}
+			return
+		}
+	}
+	n.pendMu.Lock()
 	p := n.pending[consumer]
 	if p == nil {
-		p = &dpPend{tile: consumer, remaining: dpDepCount(&consumer)}
+		p = &dpPend{tile: consumer, remaining: dpDepCount(&consumer), level: dpLevelOf(&consumer)}
 		n.pending[consumer] = p
 	}
 	p.edges = append(p.edges, dpEdgeMsg{dep: dep, data: data})
 	p.remaining--
-	n.liveEdges++
-	if n.liveEdges > n.peakEdges {
-		n.peakEdges = n.liveEdges
-	}
-	if p.remaining == 0 {
+	ready := p.remaining == 0
+	if ready {
 		delete(n.pending, consumer)
-		p.seq = n.seq
-		n.seq++
 		p.key = dpKeyOf(&p.tile)
-		heap.Push(&n.ready, p)
-		n.cond.Signal()
+		p.group = dpShardOf(n, &consumer)
+		p.seq = atomic.AddInt64(&n.seqA, 1)
 	}
-	n.mu.Unlock()
+	n.pendMu.Unlock()
+	live := atomic.AddInt64(&n.liveEdges, 1)
+	dpAtomicMax(&n.peakEdges, live)
+	if ready {
+		n.enqueue(p)
+	}
 }
 
 func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
-	// Unpack received edges into the ghost shell.
+	// Unpack received edges into the ghost shell (static tiles may have
+	// empty slots: dependences whose producer is outside the space).
+	nEdges := int64(0)
 	for _, ed := range p.edges {
+		if ed.data == nil {
+			continue
+		}
+		nEdges++
 		var prod [dpDims]int64
 		for k := 0; k < dpDims; k++ {
 			prod[k] = p.tile[k] + dpTileDepOffsets[ed.dep][k]
 		}
 		dpUnpackEdge(ed.dep, &prod, V, ed.data)
 	}
-	nEdges := int64(len(p.edges))
 	p.edges = nil
+	if !p.static {
+		// Static tiles' edges bypass the pending table and are never
+		// counted live.
+		atomic.AddInt64(&n.liveEdges, -nEdges)
+	}
 
 	cells, tmax := dpExecTile(&p.tile, V)
 
@@ -317,7 +622,6 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 	}
 
 	n.mu.Lock()
-	n.liveEdges -= nEdges
 	n.tiles++
 	n.cells += cells
 	n.localEdges += localDelivered
@@ -326,6 +630,7 @@ func (n *dpNode) exec(g *dpGlobal, p *dpPend, V []dpElem) {
 	n.executed++
 	finished := n.executed == n.owned
 	n.mu.Unlock()
+	n.tileRetired(p)
 	if finished {
 		g.wg.Done()
 	}
@@ -340,6 +645,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "invalid -nodes/-threads/-sendbufs/-recvbufs")
 		os.Exit(2)
 	}
+	staticOn := false
+	switch *flagSched {
+	case "hybrid":
+		// A single worker per node has no scheduler synchronization for
+		// the static phase to remove; skip the classification scan.
+		staticOn = threads > 1
+	case "dynamic":
+	default:
+		fmt.Fprintln(os.Stderr, "invalid -sched (want hybrid or dynamic)")
+		os.Exit(2)
+	}
 	start := time.Now()
 	owner, ownedTotal, initial, totalWork := dpBuildOwnership(nodes)
 	if len(initial) == 0 {
@@ -351,19 +667,32 @@ func main() {
 		n := &dpNode{
 			id:      i,
 			pending: make(map[[dpDims]int64]*dpPend),
+			shards:  make([]dpShard, threads),
 			inbox:   make(chan dpMsg, *flagRecvBufs),
 			slots:   make(chan struct{}, *flagSendBufs),
 			owned:   ownedTotal[i],
 		}
+		for w := range n.shards {
+			n.shards[w].rng = uint64(w+1) * 0x9E3779B97F4A7C15
+		}
 		n.cond = sync.NewCond(&n.mu)
 		g.nodes[i] = n
+	}
+	if staticOn {
+		dpBuildStatic(g)
 	}
 	for idx := range initial {
 		t := initial[idx]
 		n := g.nodes[owner[dpLBKeyOf(&t)]]
-		p := &dpPend{tile: t, seq: n.seq, key: dpKeyOf(&t)}
-		n.seq++
-		heap.Push(&n.ready, p)
+		p := &dpPend{tile: t, key: dpKeyOf(&t), level: dpLevelOf(&t)}
+		p.seq = atomic.AddInt64(&n.seqA, 1)
+		p.group = dpShardOf(n, &t)
+		n.enqueue(p)
+	}
+	if staticOn {
+		for _, n := range g.nodes {
+			n.sd.advance(n)
+		}
 	}
 	initSecs := time.Since(start).Seconds()
 
@@ -380,10 +709,10 @@ func main() {
 		}(n)
 		for w := 0; w < threads; w++ {
 			workers.Add(1)
-			go func(n *dpNode) {
+			go func(n *dpNode, w int) {
 				defer workers.Done()
-				n.worker(g)
-			}(n)
+				n.worker(g, w)
+			}(n, w)
 		}
 	}
 	g.wg.Wait()
@@ -412,8 +741,12 @@ func main() {
 	fmt.Printf("total_seconds %.6f\n", elapsed)
 	if *flagStats {
 		for _, n := range g.nodes {
-			fmt.Printf("node %d tiles %d cells %d sent %d sent_elems %d recv %d local %d peak_edges %d\n",
-				n.id, n.tiles, n.cells, n.sentRemote, n.sentElems, n.recvRemote, n.localEdges, n.peakEdges)
+			static := int64(0)
+			if n.sd != nil {
+				static = n.sd.total
+			}
+			fmt.Printf("node %d tiles %d cells %d sent %d sent_elems %d recv %d local %d peak_edges %d static %d steals %d local_pops %d\n",
+				n.id, n.tiles, n.cells, n.sentRemote, n.sentElems, n.recvRemote, n.localEdges, n.peakEdges, static, n.steals, n.localPops)
 		}
 	}
 }

@@ -52,6 +52,7 @@ type Instance struct {
 	RecvBufs    int
 	QueueGroups int
 	Priority    engine.Priority
+	Sched       engine.Sched
 	Balance     balance.Method
 	PollingRecv bool
 
@@ -201,6 +202,7 @@ func Generate(seed uint64) *Instance {
 	in.RecvBufs = 1 + rng.Intn(4)
 	in.QueueGroups = 1 + rng.Intn(2)
 	in.Priority = []engine.Priority{engine.ColumnMajor, engine.LevelSet, engine.FIFO}[rng.Intn(3)]
+	in.Sched = []engine.Sched{engine.SchedHybrid, engine.SchedDynamic}[rng.Intn(2)]
 	in.Balance = []balance.Method{balance.Prefix, balance.Hyperplane}[rng.Intn(2)]
 	in.PollingRecv = rng.Intn(2) == 0
 

@@ -20,8 +20,8 @@ func GoLiteral(in *Instance) string {
 	fmt.Fprintf(&b, "\tSeed: %#x, N: %d,\n", in.Seed, in.N)
 	fmt.Fprintf(&b, "\tNodes: %d, Threads: %d, SendBufs: %d, RecvBufs: %d, QueueGroups: %d,\n",
 		in.Nodes, in.Threads, in.SendBufs, in.RecvBufs, in.QueueGroups)
-	fmt.Fprintf(&b, "\tPriority: %s, Balance: %s, PollingRecv: %v,\n",
-		priorityName(in.Priority), balanceName(in.Balance), in.PollingRecv)
+	fmt.Fprintf(&b, "\tPriority: %s, Sched: %s, Balance: %s, PollingRecv: %v,\n",
+		priorityName(in.Priority), schedName(in.Sched), balanceName(in.Balance), in.PollingRecv)
 	fmt.Fprintf(&b, "}\n")
 	fmt.Fprintf(&b, "sp := spec.MustNew(%q, %s, %s)\n", sp.Name, stringsLit(sp.Params), stringsLit(sp.Vars))
 	for _, q := range sp.Constraints {
@@ -83,6 +83,16 @@ func priorityName(p engine.Priority) string {
 		return "engine.FIFO"
 	}
 	return fmt.Sprintf("engine.Priority(%d)", p)
+}
+
+func schedName(s engine.Sched) string {
+	switch s {
+	case engine.SchedHybrid:
+		return "engine.SchedHybrid"
+	case engine.SchedDynamic:
+		return "engine.SchedDynamic"
+	}
+	return fmt.Sprintf("engine.Sched(%d)", s)
 }
 
 func balanceName(m balance.Method) string {

@@ -245,6 +245,29 @@ var regressionCases = []struct {
 			return in
 		},
 	},
+	{
+		// All-boundary shape for the hybrid scheduler: a 1-D chain of
+		// six tiles spread over six nodes, so every non-initial tile's
+		// single producer lives on another rank and the static wavefront
+		// set is empty on every node. Pins the hybrid scheduler's pure
+		// fallback path (StaticTiles == 0, all tiles through dynamic
+		// dependence counting) against the serial reference.
+		name: "all-boundary-empty-static-set",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0007, N: 11,
+				Nodes: 6, Threads: 2, SendBufs: 1, RecvBufs: 1, QueueGroups: 1,
+				Priority: engine.ColumnMajor, Sched: engine.SchedHybrid, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_allboundary", []string{"N"}, []string{"v0"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.AddDep("r1", -1)
+			sp.TileWidths = []int64{2}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
 }
 
 // TestRegressions replays every pinned case through the full oracle

@@ -67,9 +67,11 @@ type ckptEdge struct {
 	data []float64
 }
 
-// encodeCheckpoint serializes the node's durable state. Both n.mu and
-// (briefly) the engine's goalMu are taken by the caller holding n.mu;
-// no code path acquires them in the reverse order.
+// encodeCheckpoint serializes the node's durable state. The caller
+// holds stripes[0].mu (fault tolerance runs the pending table on one
+// stripe, so that lock covers the pending/started/executedSet maps) and
+// n.mu; goalMu is taken briefly inside. No code path acquires any of
+// them in the reverse order.
 func (n *node) encodeCheckpoint() []byte {
 	e := n.eng
 	b := make([]byte, 0, 64+16*len(n.executedSet))
@@ -112,7 +114,7 @@ func (n *node) encodeCheckpoint() []byte {
 	// Buffered edges live on pending tiles (some dependences missing)
 	// and started tiles (complete, but not yet unpacked and executed).
 	ntiles := 0
-	for _, p := range n.pending {
+	for _, p := range n.stripes[0].pending {
 		if len(p.edges) > 0 {
 			ntiles++
 		}
@@ -139,7 +141,7 @@ func (n *node) encodeCheckpoint() []byte {
 			}
 		}
 	}
-	for _, p := range n.pending {
+	for _, p := range n.stripes[0].pending {
 		emit(p)
 	}
 	for _, p := range n.started {
@@ -390,13 +392,17 @@ func (n *node) checkpointer(lane *obs.Lane) {
 // the node lock; the file write does not. A failed or skipped write
 // just leaves the checkpoint due — the checkpointer retries.
 func (n *node) maybeCheckpoint(lane *obs.Lane) {
+	st0 := &n.stripes[0]
+	st0.mu.Lock()
 	n.mu.Lock()
 	if !n.ckptDue || n.ckptBusy || n.crashed {
 		n.mu.Unlock()
+		st0.mu.Unlock()
 		return
 	}
 	if q, ok := n.rank.(quiescer); ok && q.PendingSends() != 0 {
 		n.mu.Unlock()
+		st0.mu.Unlock()
 		return
 	}
 	n.ckptBusy = true
@@ -407,6 +413,7 @@ func (n *node) maybeCheckpoint(lane *obs.Lane) {
 	}
 	blob := n.encodeCheckpoint()
 	n.mu.Unlock()
+	st0.mu.Unlock()
 
 	err := writeCheckpointFile(n.ckptPath, blob)
 	n.mu.Lock()

@@ -3,13 +3,19 @@
 // OpenMP threads and dpgen/internal/mpi standing in for MPI ranks.
 //
 // Each simulated node owns a set of tiles (static load balancing,
-// Section IV-J), a table of pending tiles holding only packed edge data,
-// and a priority queue of ready tiles. Worker goroutines loop: pop the
-// highest-priority ready tile, unpack its edges into a per-worker tile
-// buffer with a ghost-cell shell, run the user kernel over the tile's
-// cells in dependence order, pack the outgoing edges, and deliver them
-// locally or send them to the owning rank. A receiver goroutine per node
-// plays the role of the paper's "poll for incoming edges" step.
+// Section IV-J) and schedules them with the hybrid static/dynamic
+// scheduler of sched.go: boundary and remote-fed tiles go through a
+// striped pending table with per-tile dependence counting, while
+// interior tiles with all-local producers are precomputed into a
+// wavefront order released level by level through one atomic counter
+// per level. Ready tiles land in per-worker shards (steal.go); worker
+// goroutines loop popping locally (priority heap first, then the
+// static deque LIFO), stealing from other shards when empty, then
+// unpack the tile's edges into a per-worker buffer with a ghost-cell
+// shell, run the user kernel over the tile's cells in dependence
+// order, pack the outgoing edges, and deliver them locally or send
+// them to the owning rank. A receiver goroutine per node plays the
+// role of the paper's "poll for incoming edges" step.
 //
 // The hot path is split by the interior-tile classification of
 // dpgen/internal/tiling: tiles whose whole dependence shell lies inside
@@ -64,14 +70,18 @@ type Config struct {
 	// the MPI inbox between tiles and while blocked in sends. The
 	// default (false) uses a dedicated receiver goroutine per node.
 	PollingRecv bool
-	// QueueGroups splits each node's ready queue into this many separate
-	// priority queues, each served primarily by its own subset of
-	// workers (workers steal from other groups only when their own is
-	// empty) — the Section VII-C proposal for reducing shared-structure
-	// contention on large nodes. Clamped to Threads; default 1.
+	// QueueGroups is accepted for compatibility but inert: the
+	// scheduler now always shards the ready queue per worker with
+	// stealing (see steal.go), which subsumes the Section VII-C
+	// grouped-queue proposal this knob used to select.
 	QueueGroups int
 	Priority    Priority
-	Balance     balance.Method
+	// Sched selects the tile scheduler: SchedHybrid (default) uses the
+	// static wavefront phase for interior all-local tiles, SchedDynamic
+	// counts every tile's dependences dynamically. Bit-identical either
+	// way; see sched.go.
+	Sched   Sched
+	Balance balance.Method
 	// DisableFastPath forces every tile through the exact
 	// boundary-tile machinery (per-cell validity checks, nest-driven
 	// pack/unpack), bypassing the interior-tile classification. Results
@@ -178,9 +188,18 @@ type NodeStats struct {
 	// exhausted send (or destination receive) buffers — the counter
 	// that explains the Section VI-C buffer-count sweep.
 	SendStallTime time.Duration
-	// Steals counts tiles taken from another queue group (only nonzero
-	// with Config.QueueGroups > 1).
-	Steals int64
+	// Steals counts tiles a worker took from another worker's shard;
+	// LocalPops counts tiles popped from the worker's own shard. Their
+	// sum is TilesExecuted.
+	Steals    int64
+	LocalPops int64
+	// QueueDepthPeak is the maximum number of ready tiles queued across
+	// the node's shards at once.
+	QueueDepthPeak int64
+	// StaticTiles counts tiles scheduled by the static wavefront phase
+	// (zero with SchedDynamic, DisableFastPath, fault tolerance, or an
+	// all-boundary tile space).
+	StaticTiles int64
 	// EdgesDroppedDup counts duplicate edges dropped by the
 	// fault-tolerance deduplication layer — replayed traffic after a
 	// peer restart, or a resumed rank's own recomputed sends.
@@ -372,29 +391,25 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		p := &pendTile{
 			tile: append([]int64(nil), t...),
 			key:  make([]int64, len(e.keyDims)),
-			seq:  n.seq,
+			seq:  n.seqA.Add(1),
 		}
-		n.seq++
 		e.makeKey(p.tile, p.key)
 		p.level = -sum64(p.key)
-		p.group = n.groupOf(p.tile)
-		n.ready[p.group].push(p)
+		p.group = n.shardOf(p.tile)
 		if n.ft {
 			n.started[ik] = p
 		}
-		if cfg.Tracer != nil {
-			cfg.Tracer.Lane(n.id, laneInit(cfg), "init").Instant(obs.KReady, obs.TileID(t), -1, 0)
-		}
+		n.enqueue(p, n.initLane())
 	}
 	for _, n := range nodes {
 		if n.resumeCk != nil {
-			var lane *obs.Lane
-			if cfg.Tracer != nil {
-				lane = cfg.Tracer.Lane(n.id, laneInit(cfg), "init")
-			}
-			n.replayCheckpoint(lane)
+			n.replayCheckpoint(n.initLane())
 		}
 	}
+	// Static phase (sched.go): classify and order interior all-local
+	// tiles once, before workers exist, so the per-level structures
+	// need no construction-time locking.
+	e.buildStatic(nodeByRank)
 	initTime := time.Since(initStart)
 
 	// Launch: per node, Threads workers plus one receiver. Each
@@ -436,9 +451,9 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 					lane = cfg.Tracer.Lane(n.id, w, "worker"+strconv.Itoa(w))
 				}
 				if cfg.PollingRecv {
-					n.workerPolling(w%cfg.QueueGroups, lane)
+					n.workerPolling(w, lane)
 				} else {
-					n.worker(w%cfg.QueueGroups, lane)
+					n.worker(w, lane)
 				}
 			}(n, w)
 		}
@@ -484,9 +499,7 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	for _, n := range nodes {
 		n.mu.Lock()
 		n.done = true
-		for _, c := range n.conds {
-			c.Broadcast()
-		}
+		n.cond.Broadcast()
 		n.mu.Unlock()
 	}
 	workers.Wait()
@@ -509,9 +522,17 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 		Work:        assign.Work,
 	}
 	for _, n := range nodes {
-		n.st.Steals = n.steals
+		n.st.Steals = n.stealsA.Load()
+		n.st.LocalPops = n.localPopsA.Load()
+		n.st.EdgesLocal = n.edgesLocalA.Load()
+		n.st.EdgesRecvRemote = n.edgesRecvRemoteA.Load()
 		n.st.PeakPendingEdges = n.peakPendingEdges.Load()
 		n.st.PeakBufferedElems = n.peakBufferedElems.Load()
+		n.st.PeakPendingTiles = n.peakPendingTiles.Load()
+		n.st.QueueDepthPeak = n.peakQueueDepth.Load()
+		if n.sd != nil {
+			n.st.StaticTiles = n.sd.staticTotal
+		}
 		res.Stats[n.id] = n.st
 	}
 	if distributed {
@@ -596,23 +617,44 @@ type node struct {
 	id   int
 	rank mpi.Transport
 
-	mu      sync.Mutex
-	conds   []*sync.Cond // one per queue group, sharing mu
-	pending map[uint64]*pendTile
-	ready   []tileHeap // one priority queue per group (Section VII-C)
-	done    bool
-	seq     int64
-	steals  int64
+	// mu guards the done flag, the batched per-tile stats, and the
+	// fault-tolerance cadence; workers with nothing to do sleep on
+	// cond. Lock order where several are held: pstripe.mu → shard.mu →
+	// mu (the reverse never occurs).
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+
+	// Scheduler state (see sched.go / steal.go): per-worker ready-queue
+	// shards, the striped dynamic pending table, and (under SchedHybrid)
+	// the static wavefront phase.
+	shards  []shard
+	stripes []pstripe
+	smask   uint64
+	sd      *nodeSched
+
+	// epoch/sleepers implement the lost-wakeup-free worker sleep of
+	// steal.go; qlen counts queued tiles across shards and pendingTiles
+	// the dynamic pending-table entries.
+	epoch    atomic.Uint64
+	sleepers atomic.Int32
+	qlen     atomic.Int64
+	pendingTiles atomic.Int64
+	seqA         atomic.Int64
 
 	ownedTotal int64
 	executed   int64
 	finishOnce sync.Once
 
-	// Fault-tolerance state (Config.Checkpoint; all guarded by mu).
-	// executedSet records every executed owned tile's intKey for
-	// duplicate-edge filtering and checkpointing; started holds tiles
-	// whose dependences are complete (queued or executing) so their
-	// still-held edges stay checkpointable until the executed mark.
+	// Fault-tolerance state (Config.Checkpoint). The dedup maps
+	// executedSet/started are guarded by stripes[0].mu — fault
+	// tolerance collapses the pending table to one stripe so every
+	// per-tile transition shares that lock; the cadence flags stay
+	// under mu. executedSet records every executed owned tile's intKey
+	// for duplicate-edge filtering and checkpointing; started holds
+	// tiles whose dependences are complete (queued or executing) so
+	// their still-held edges stay checkpointable until the executed
+	// mark.
 	ft          bool
 	executedSet map[uint64]struct{}
 	started     map[uint64]*pendTile
@@ -624,30 +666,52 @@ type node struct {
 	crashed     bool
 	resumeCk    *checkpoint
 
-	// Edge-memory accounting is atomic so deliver and execTile touch it
-	// without the node lock.
+	// Counters off the hot locks: edge-memory accounting plus the
+	// scheduler and traffic totals folded into st after the run.
 	pendingEdges      atomic.Int64
 	bufferedElems     atomic.Int64
 	peakPendingEdges  atomic.Int64
 	peakBufferedElems atomic.Int64
+	peakPendingTiles  atomic.Int64
+	peakQueueDepth    atomic.Int64
+	stealsA           atomic.Int64
+	localPopsA        atomic.Int64
+	edgesLocalA       atomic.Int64
+	edgesRecvRemoteA  atomic.Int64
 
 	st NodeStats
 }
 
 func newNode(e *engine, id int, rank mpi.Transport) *node {
-	g := e.cfg.QueueGroups
 	n := &node{
-		eng:     e,
-		id:      id,
-		rank:    rank,
-		pending: make(map[uint64]*pendTile),
-		ready:   make([]tileHeap, g),
-		conds:   make([]*sync.Cond, g),
+		eng:  e,
+		id:   id,
+		rank: rank,
 	}
-	for i := 0; i < g; i++ {
-		n.ready[i] = tileHeap{prio: e.cfg.Priority}
-		n.conds[i] = sync.NewCond(&n.mu)
+	n.cond = sync.NewCond(&n.mu)
+	threads := e.cfg.Threads
+	if threads < 1 {
+		threads = 1
 	}
+	n.shards = make([]shard, threads)
+	for i := range n.shards {
+		n.shards[i].heap = tileHeap{prio: e.cfg.Priority}
+		n.shards[i].rng = uint64(i+1) * 0x9E3779B97F4A7C15
+	}
+	// Stripe count: a few stripes per worker, power of two for the
+	// mask; one stripe under fault tolerance (see pstripe).
+	nstripes := 1
+	if e.cfg.Checkpoint.Dir == "" {
+		nstripes = 4
+		for nstripes < 4*threads && nstripes < 64 {
+			nstripes *= 2
+		}
+	}
+	n.stripes = make([]pstripe, nstripes)
+	for i := range n.stripes {
+		n.stripes[i].pending = make(map[uint64]*pendTile)
+	}
+	n.smask = uint64(nstripes - 1)
 	if e.cfg.Checkpoint.Dir != "" {
 		n.ft = true
 		n.executedSet = make(map[uint64]struct{})
@@ -663,89 +727,71 @@ func newNode(e *engine, id int, rank mpi.Transport) *node {
 // (workers take 0..Threads-1, the receiver Threads).
 func laneInit(cfg Config) int { return cfg.Threads + 1 }
 
-// groupOf hashes a tile to a queue group (FNV-1a over the coordinates).
-func (n *node) groupOf(t []int64) int {
-	if len(n.ready) == 1 {
-		return 0
+// initLane returns the node's seeding-phase trace lane (nil untraced).
+func (n *node) initLane() *obs.Lane {
+	if n.eng.cfg.Tracer == nil {
+		return nil
 	}
-	h := uint64(14695981039346656037)
-	for _, v := range t {
-		h ^= uint64(v)
-		h *= 1099511628211
-	}
-	return int(h % uint64(len(n.ready)))
+	return n.eng.cfg.Tracer.Lane(n.id, laneInit(n.eng.cfg), "init")
 }
 
-// readyLen returns the total queued tiles across groups (mu held).
-func (n *node) readyLen() int {
-	total := 0
-	for i := range n.ready {
-		total += n.ready[i].Len()
-	}
-	return total
-}
-
-// popReady pops the best tile, preferring the home group and stealing
-// from the others otherwise (mu held). Returns nil when all are empty.
-func (n *node) popReady(home int) *pendTile {
-	g := len(n.ready)
-	for off := 0; off < g; off++ {
-		i := (home + off) % g
-		if n.ready[i].Len() > 0 {
-			if off > 0 {
-				n.steals++
-			}
-			return n.ready[i].pop()
-		}
-	}
-	return nil
-}
-
-// worker is the per-thread main loop (Section V-A): claim the best ready
-// tile, execute it, repeat.
-func (n *node) worker(home int, lane *obs.Lane) {
-	w := newWorkerState(n.eng)
-	w.lane = lane
+// worker is the per-thread main loop (Section V-A): claim a ready tile
+// — own shard first, stealing otherwise — execute it, repeat. With
+// nothing claimable anywhere the worker sleeps; the epoch check makes
+// the empty-scan-then-sleep sequence race-free against concurrent
+// enqueues (see enqueue).
+func (n *node) worker(w int, lane *obs.Lane) {
+	ws := newWorkerState(n.eng)
+	ws.lane = lane
 	for {
-		n.mu.Lock()
-		p := n.popReady(home)
-		for p == nil && !n.done {
-			idleStart := time.Now()
-			n.conds[home].Wait()
-			idle := time.Since(idleStart)
-			n.st.IdleTime += idle
-			if lane != nil {
-				lane.Emit(obs.Event{Kind: obs.KIdle, Start: lane.At(idleStart), Dur: int64(idle), Dep: -1})
-			}
-			p = n.popReady(home)
+		e0 := n.epoch.Load()
+		p, stolen := n.popAny(w)
+		if p != nil {
+			n.execTile(p, ws, stolen)
+			continue
 		}
-		if p == nil {
+		n.mu.Lock()
+		if n.done {
 			n.mu.Unlock()
 			return
 		}
+		n.sleepers.Add(1)
+		if n.epoch.Load() != e0 {
+			// An enqueue landed after the empty scan; rescan.
+			n.sleepers.Add(-1)
+			n.mu.Unlock()
+			continue
+		}
+		idleStart := time.Now()
+		n.cond.Wait()
+		n.sleepers.Add(-1)
+		idle := time.Since(idleStart)
+		n.st.IdleTime += idle
 		n.mu.Unlock()
-		n.execTile(p, w)
+		if lane != nil {
+			lane.Emit(obs.Event{Kind: obs.KIdle, Start: lane.At(idleStart), Dur: int64(idle), Dep: -1})
+		}
 	}
 }
 
 // workerPolling is the worker loop of the paper's progress model: no
 // receiver goroutine exists, so workers probe the inbox whenever they
-// have no ready tile and while blocked inside sends.
-func (n *node) workerPolling(home int, lane *obs.Lane) {
-	w := newWorkerState(n.eng)
-	w.lane = lane
+// have no ready tile and while blocked inside sends; they never sleep.
+func (n *node) workerPolling(w int, lane *obs.Lane) {
+	ws := newWorkerState(n.eng)
+	ws.lane = lane
 	for {
+		p, stolen := n.popAny(w)
+		if p != nil {
+			n.execTile(p, ws, stolen)
+			continue
+		}
+		if n.poll(lane, &ws.ds) {
+			continue
+		}
 		n.mu.Lock()
-		p := n.popReady(home)
 		done := n.done
 		n.mu.Unlock()
-		if p != nil {
-			n.execTile(p, w)
-			continue
-		}
-		if n.poll(lane, &w.ds) {
-			continue
-		}
 		if done {
 			return
 		}
@@ -808,8 +854,8 @@ func (ds *delivState) recycle(p *pendTile) {
 }
 
 // prepTile builds a ready-to-insert pending-table entry. The dependence
-// count, priority key, level and queue group are all polytope
-// evaluations, so this runs outside the node lock.
+// count, priority key, level and home shard are all polytope
+// evaluations, so this runs outside the stripe lock.
 func (n *node) prepTile(ds *delivState, consumer []int64) *pendTile {
 	e := n.eng
 	p := ds.spare
@@ -826,7 +872,7 @@ func (n *node) prepTile(ds *delivState, consumer []int64) *pendTile {
 	p.got = 0
 	e.makeKey(p.tile, p.key)
 	p.level = -sum64(p.key)
-	p.group = n.groupOf(p.tile)
+	p.group = n.shardOf(p.tile)
 	return p
 }
 
@@ -840,8 +886,12 @@ func atomicMax(a *atomic.Int64, v int64) {
 	}
 }
 
-// deliver records one incoming edge for a consumer tile, moving the tile
-// to the ready queue when its last dependence arrives. lane is the
+// deliver records one incoming edge for a consumer tile. Static tiles
+// take a lock-free path: the edge lands directly in its preassigned
+// slot (the producer is the slot's only writer, and the wavefront
+// frontier cannot release the tile before the producer retires).
+// Dynamic tiles go through the consumer's pending-table stripe and move
+// to their home shard when the last dependence arrives. lane is the
 // calling goroutine's trace lane (nil when untraced); ds is its
 // delivery scratch.
 func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, lane *obs.Lane, ds *delivState) {
@@ -853,7 +903,18 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 	atomicMax(&n.peakBufferedElems, n.bufferedElems.Add(int64(len(data))))
 
 	k := e.intKey(consumer)
-	n.mu.Lock()
+	if sd := n.sd; sd != nil {
+		if p := sd.idx[k]; p != nil {
+			// sd.idx is read-only after buildStatic, and remote edges
+			// never target static tiles (their producers are all
+			// node-local by classification).
+			p.edges[dep] = edge{dep: dep, data: data}
+			n.edgesLocalA.Add(1)
+			return
+		}
+	}
+	st := n.stripeFor(k)
+	st.mu.Lock()
 	if n.ft {
 		// Duplicate-edge filter: after a peer restart its replayed
 		// history re-delivers edges this rank already applied. A tile
@@ -867,25 +928,26 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 		}
 		if executed {
 			n.st.EdgesDroppedDup++
-			n.mu.Unlock()
+			st.mu.Unlock()
 			n.pendingEdges.Add(-1)
 			n.bufferedElems.Add(-int64(len(data)))
 			mpi.PutData(data)
 			return
 		}
 	}
-	p := n.pending[k]
+	p := st.pending[k]
 	if p == nil {
 		// First edge for this tile. The entry needs polytope work
 		// (prepTile), which must not run under the lock: release it,
 		// prepare, re-check. Another deliverer may win the race, in
 		// which case the prepared entry is kept as the next spare.
-		n.mu.Unlock()
+		st.mu.Unlock()
 		prep := n.prepTile(ds, consumer)
-		n.mu.Lock()
-		if p = n.pending[k]; p == nil {
+		st.mu.Lock()
+		if p = st.pending[k]; p == nil {
 			p = prep
-			n.pending[k] = p
+			st.pending[k] = p
+			n.pendingTiles.Add(1)
 		} else {
 			ds.spare = prep
 		}
@@ -893,7 +955,7 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 	if n.ft {
 		if p.got&(1<<uint(dep)) != 0 {
 			n.st.EdgesDroppedDup++
-			n.mu.Unlock()
+			st.mu.Unlock()
 			n.pendingEdges.Add(-1)
 			n.bufferedElems.Add(-int64(len(data)))
 			mpi.PutData(data)
@@ -902,29 +964,26 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 		p.got |= 1 << uint(dep)
 	}
 	if remote {
-		n.st.EdgesRecvRemote++
+		n.edgesRecvRemoteA.Add(1)
 	} else {
-		n.st.EdgesLocal++
+		n.edgesLocalA.Add(1)
 	}
 	p.edges = append(p.edges, edge{dep: dep, data: data})
 	p.remaining--
-	if t := int64(len(n.pending) + n.readyLen()); t > n.st.PeakPendingTiles {
-		n.st.PeakPendingTiles = t
-	}
-	if p.remaining == 0 {
-		delete(n.pending, k)
+	ready := p.remaining == 0
+	if ready {
+		delete(st.pending, k)
+		n.pendingTiles.Add(-1)
 		if n.ft {
 			n.started[k] = p
 		}
-		p.seq = n.seq
-		n.seq++
-		n.ready[p.group].push(p)
-		if lane != nil {
-			lane.Instant(obs.KReady, obs.TileID(p.tile), -1, 0)
-		}
-		n.conds[p.group].Signal()
 	}
-	n.mu.Unlock()
+	st.mu.Unlock()
+	atomicMax(&n.peakPendingTiles, n.pendingTiles.Load()+n.qlen.Load())
+	if ready {
+		p.seq = n.seqA.Add(1)
+		n.enqueue(p, lane)
+	}
 }
 
 // workerState is per-worker scratch: the tile buffer with its ghost
@@ -966,11 +1025,12 @@ func newWorkerState(e *engine) *workerState {
 }
 
 // execTile runs one tile: unpack edges, execute cells, pack and deliver
-// outgoing edges, and update termination state. A panicking user kernel
-// still crashes the run (there is no safe way to unwind a half-computed
-// distributed wavefront), but the panic is annotated with the tile so
-// the kernel bug is findable.
-func (n *node) execTile(p *pendTile, w *workerState) {
+// outgoing edges, and update termination and scheduler state. stolen
+// marks a tile claimed from another worker's shard (recorded on the
+// pop event). A panicking user kernel still crashes the run (there is
+// no safe way to unwind a half-computed distributed wavefront), but the
+// panic is annotated with the tile so the kernel bug is findable.
+func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panic(fmt.Sprintf("engine: kernel panic in tile %v on node %d: %v", p.tile, n.id, r))
@@ -988,7 +1048,11 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	var t0 int64
 	if lane != nil {
 		tid = obs.TileID(p.tile)
-		lane.Instant(obs.KPop, tid, -1, 0)
+		var stolenVal int64
+		if stolen {
+			stolenVal = 1
+		}
+		lane.Instant(obs.KPop, tid, -1, stolenVal)
 		t0 = lane.Now()
 	}
 
@@ -999,7 +1063,15 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	// copy regardless of how the producer packed it; partial boundary
 	// slabs walk the exact nest.
 	var freedElems int64
+	var nEdges int64
 	for _, ed := range p.edges {
+		if ed.data == nil {
+			// A static tile's slot for a producer that does not exist
+			// (an out-of-space neighbor whose ghost cells no valid
+			// dependence ever reads).
+			continue
+		}
+		nEdges++
 		if fast && int64(len(ed.data)) == tl.InteriorEdgeSize[ed.dep] {
 			tl.UnpackInterior(ed.dep, w.buf, ed.data)
 		} else {
@@ -1026,7 +1098,7 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 			mpi.PutData(ed.data)
 		}
 	}
-	n.pendingEdges.Add(-int64(len(p.edges)))
+	n.pendingEdges.Add(-nEdges)
 	n.bufferedElems.Add(-freedElems)
 	if !n.ft {
 		for i := range p.edges {
@@ -1044,7 +1116,7 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	// bound-evaluating enumerator with per-cell validity checks.
 	var cells int64
 	tileMax := math.Inf(-1)
-	interior := fast && w.probe.Interior(p.tile)
+	interior := fast && (p.static || w.probe.Interior(p.tile))
 	if interior {
 		cells, tileMax = n.execInterior(p, w)
 	} else {
@@ -1156,6 +1228,25 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 		lane.Span(obs.KPack, tid, -1, 0, t0)
 	}
 
+	// Executed mark for fault tolerance, under the (single) pending
+	// stripe's lock so checkpoints see the dedup-set insert and the
+	// edge release as one transition: the tile's sends are issued, so
+	// it joins the dedup set and its retained edges finally return to
+	// the pool.
+	if n.ft {
+		k := e.intKey(p.tile)
+		st0 := &n.stripes[0]
+		st0.mu.Lock()
+		delete(n.started, k)
+		n.executedSet[k] = struct{}{}
+		for i := range p.edges {
+			mpi.PutData(p.edges[i].data)
+			p.edges[i] = edge{}
+		}
+		p.edges = p.edges[:0]
+		st0.mu.Unlock()
+	}
+
 	// One batched stats update per tile.
 	var crash bool
 	n.mu.Lock()
@@ -1164,20 +1255,8 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	n.st.EdgesSentRemote += sentRemote
 	n.st.SendStallTime += stallSum
 	n.executed++
-	if n.ft {
-		// Executed mark: the tile's sends are issued, so it joins the
-		// dedup set and its retained edges finally return to the pool.
-		k := e.intKey(p.tile)
-		delete(n.started, k)
-		n.executedSet[k] = struct{}{}
-		for i := range p.edges {
-			mpi.PutData(p.edges[i].data)
-			p.edges[i] = edge{}
-		}
-		p.edges = p.edges[:0]
-		if n.ckptEvery > 0 && !n.crashed && n.executed%n.ckptEvery == 0 {
-			n.ckptDue = true
-		}
+	if n.ft && n.ckptEvery > 0 && !n.crashed && n.executed%n.ckptEvery == 0 {
+		n.ckptDue = true
 	}
 	if n.crashAt > 0 && !n.crashed && n.executed >= n.crashAt {
 		n.crashed = true // no further checkpoints: the crash point is final
@@ -1188,12 +1267,20 @@ func (n *node) execTile(p *pendTile, w *workerState) {
 	if crash {
 		e.cfg.CrashFn()
 	}
+	// Retire the tile from its wavefront level, releasing the next
+	// static level if this drained the frontier. Must follow the
+	// outgoing-edge deliveries above: a released consumer's slots are
+	// only complete once every lower-level producer has delivered.
+	n.tileRetired(p, lane)
 	// Sample the pending-edge curve (the Figure 4 quantity as a time
-	// series) at every tile completion.
+	// series) and the ready-queue depth at every tile completion.
 	if lane != nil {
 		lane.Instant(obs.KPending, "", -1, n.pendingEdges.Load())
+		lane.Instant(obs.KQueueDepth, "", -1, n.qlen.Load())
 	}
-	w.ds.recycle(p)
+	if !p.static {
+		w.ds.recycle(p)
+	}
 	if finished {
 		n.checkFinished()
 	}

@@ -345,7 +345,10 @@ func TestPriorityMemoryFig4(t *testing.T) {
 	N := 2*n - 1 // w=2 -> n tiles per dim
 	peak := map[Priority]int64{}
 	for _, prio := range []Priority{ColumnMajor, LevelSet} {
-		res, err := Run(tl, sumKernel, []int64{N}, Config{Priority: prio})
+		// SchedDynamic: the figure measures what the *priority policy*
+		// buffers; hybrid static release frees whole levels at once and
+		// erases the difference between the policies.
+		res, err := Run(tl, sumKernel, []int64{N}, Config{Priority: prio, Sched: SchedDynamic})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -660,7 +663,7 @@ func TestKernelPanicAnnotated(t *testing.T) {
 	e.buildKeyDims()
 	n := newNode2ForTest(e)
 	p := &pendTile{tile: []int64{0, 0, 0, 0}}
-	n.execTile(p, newWorkerState(e))
+	n.execTile(p, newWorkerState(e), false)
 }
 
 // newNode2ForTest builds a minimal node wired to a 1-rank comm.

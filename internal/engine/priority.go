@@ -41,11 +41,15 @@ type pendTile struct {
 	remaining int     // unsatisfied dependence edges
 	edges     []edge  // received, still-packed edges
 	key       []int64 // priority key (see makeKey)
-	level     int64   // dependence depth proxy (-sum of key), for LevelSet
+	level     int64   // wavefront level (-sum of key), for LevelSet and sched.go
 	seq       int64   // arrival order, for FIFO and tie-breaking
 	index     int     // heap index
-	group     int     // ready-queue group (computed off-lock at insert)
+	group     int     // home shard (computed off-lock at insert)
 	got       uint64  // per-dep arrival bitmask for fault-tolerance dedup
+	// static marks a wavefront-scheduled tile (sched.go): its edges
+	// slice is preallocated with one slot per tile dependence, filled
+	// in place by producers instead of appended under a lock.
+	static bool
 }
 
 type edge struct {

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// ---- hybrid static/dynamic scheduler ----
+
+// TestSchedulersBitIdentical: the hybrid and pure-dynamic schedulers
+// must produce bit-identical cell values under every node/thread shape
+// — the static wavefront phase may only change execution order within
+// what the dependence DAG already allows.
+func TestSchedulersBitIdentical(t *testing.T) {
+	n := int64(10)
+	tl := pipe2(t, n)
+	N := 2*n - 1
+	for _, shape := range []struct{ nodes, threads int }{
+		{1, 1}, {1, 4}, {3, 2},
+	} {
+		var ref map[[2]int64]float64
+		for _, sched := range []Sched{SchedHybrid, SchedDynamic} {
+			var mu sync.Mutex
+			got := map[[2]int64]float64{}
+			res, err := Run(tl, sumKernel, []int64{N}, Config{
+				Nodes: shape.nodes, Threads: shape.threads, Sched: sched,
+				OnCell: func(x []int64, v float64) {
+					mu.Lock()
+					got[[2]int64{x[0], x[1]}] = v
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("%dx%d %v: %v", shape.nodes, shape.threads, sched, err)
+			}
+			if res.Value == 0 {
+				t.Fatalf("%dx%d %v: zero goal value", shape.nodes, shape.threads, sched)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%dx%d %v: %d cells, hybrid computed %d",
+					shape.nodes, shape.threads, sched, len(got), len(ref))
+			}
+			for k, want := range ref {
+				if got[k] != want {
+					t.Fatalf("%dx%d %v: cell %v = %v, hybrid %v",
+						shape.nodes, shape.threads, sched, k, got[k], want)
+				}
+			}
+		}
+	}
+}
+
+// TestStaticTilesOnInteriorRichProblem: a large single-node square
+// grid is dominated by interior tiles with local producers, so the
+// hybrid scheduler must classify most of them static; with multiple
+// nodes, boundary rows flip back to dynamic but plenty remain.
+func TestStaticTilesOnInteriorRichProblem(t *testing.T) {
+	n := int64(12)
+	tl := pipe2(t, n)
+	N := 2*n - 1
+	for _, nodes := range []int{1, 2} {
+		res, err := Run(tl, sumKernel, []int64{N}, Config{Nodes: nodes, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var static, tiles int64
+		for _, st := range res.Stats {
+			static += st.StaticTiles
+			tiles += st.TilesExecuted
+		}
+		if static == 0 {
+			t.Errorf("nodes=%d: no static tiles on an interior-rich grid", nodes)
+		}
+		if static > tiles {
+			t.Errorf("nodes=%d: static %d exceeds executed %d", nodes, static, tiles)
+		}
+		// Single node, all producers local: everything but the edge
+		// rows/columns (non-interior) and the initial tile is static.
+		if nodes == 1 && static < tiles/2 {
+			t.Errorf("single node: only %d of %d tiles static", static, tiles)
+		}
+	}
+}
+
+// TestStaticPhaseDisabledPaths: every configuration that must fall
+// back to pure-dynamic scheduling reports zero static tiles.
+func TestStaticPhaseDisabledPaths(t *testing.T) {
+	n := int64(8)
+	tl := pipe2(t, n)
+	N := 2*n - 1
+	for name, cfg := range map[string]Config{
+		"dynamic":    {Threads: 2, Sched: SchedDynamic},
+		"nofastpath": {Threads: 2, DisableFastPath: true},
+		"checkpoint": {Threads: 2, Checkpoint: CheckpointConfig{Dir: t.TempDir(), EveryTiles: 1}},
+		// One worker: nothing for the static phase to desynchronize,
+		// so the classification scan is skipped outright.
+		"singlethread": {Threads: 1},
+	} {
+		res, err := Run(tl, sumKernel, []int64{N}, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, st := range res.Stats {
+			if st.StaticTiles != 0 {
+				t.Errorf("%s: node %d reports %d static tiles, want 0", name, i, st.StaticTiles)
+			}
+		}
+	}
+}
+
+// TestPopAccounting: every executed tile is either a local pop or a
+// steal, under both schedulers and any thread count.
+func TestPopAccounting(t *testing.T) {
+	tl := bandit2Tiling(t, 4, []string{"s1", "f1"})
+	N := int64(15)
+	for _, cfg := range []Config{
+		{Nodes: 1, Threads: 1},
+		{Nodes: 1, Threads: 4},
+		{Nodes: 2, Threads: 3},
+		{Nodes: 2, Threads: 3, Sched: SchedDynamic},
+	} {
+		res, err := Run(tl, bandit2Kernel, []int64{N}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, st := range res.Stats {
+			if st.Steals+st.LocalPops != st.TilesExecuted {
+				t.Errorf("nodes=%d threads=%d sched=%v node %d: steals %d + local %d != executed %d",
+					cfg.Nodes, cfg.Threads, cfg.Sched, i, st.Steals, st.LocalPops, st.TilesExecuted)
+			}
+			if st.TilesExecuted > 0 && st.QueueDepthPeak < 1 {
+				t.Errorf("node %d executed %d tiles with queue peak %d", i, st.TilesExecuted, st.QueueDepthPeak)
+			}
+			if cfg.Threads == 1 && st.Steals != 0 {
+				t.Errorf("node %d stole %d tiles with a single worker", i, st.Steals)
+			}
+		}
+	}
+}
+
+// TestSchedStringer covers the flag-facing names.
+func TestSchedStringer(t *testing.T) {
+	for s, want := range map[Sched]string{
+		SchedHybrid: "hybrid", SchedDynamic: "dynamic", Sched(7): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Sched(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Per-worker ready-queue shards with randomized work stealing. Each
+// worker owns one shard holding two queues: a priority heap of
+// dynamically released tiles (boundary and remote-fed work, kept in
+// column-major order so communication-causing tiles leave first) and a
+// deque of statically released wavefront tiles. The owner pops the heap
+// first, then the deque's tail (LIFO — the hottest cache lines); a
+// thief scans the other shards from a random start and takes the
+// victim's best heap tile or the deque's head (FIFO — the oldest tile,
+// the one the owner is least likely to want next). An epoch/sleeper
+// protocol parks workers when every shard is empty without losing
+// wakeups.
+
+package engine
+
+import (
+	"sync"
+
+	"dpgen/internal/obs"
+)
+
+// shard is one worker's slice of the node's ready queue.
+type shard struct {
+	mu   sync.Mutex
+	heap tileHeap    // dynamically released tiles, priority order
+	dq   []*pendTile // statically released tiles; [dqHead:] is live
+	// dqHead indexes the deque's steal end; popping from the head just
+	// advances it, and the slice recycles once it empties.
+	dqHead int
+	// rng seeds the owning worker's victim-selection PRNG (xorshift).
+	// Only the owner touches it, so it needs no lock.
+	rng uint64
+}
+
+// popLocal removes the owner's preferred tile (mu held): best dynamic
+// tile first, else the newest static tile.
+func (s *shard) popLocal() *pendTile {
+	if s.heap.Len() > 0 {
+		return s.heap.pop()
+	}
+	if n := len(s.dq); n > s.dqHead {
+		p := s.dq[n-1]
+		s.dq[n-1] = nil
+		s.dq = s.dq[:n-1]
+		if s.dqHead == len(s.dq) {
+			s.dq = s.dq[:0]
+			s.dqHead = 0
+		}
+		return p
+	}
+	return nil
+}
+
+// stealOne removes a thief's tile (mu held): the victim's best dynamic
+// tile first, else the oldest static tile.
+func (s *shard) stealOne() *pendTile {
+	if s.heap.Len() > 0 {
+		return s.heap.pop()
+	}
+	if s.dqHead < len(s.dq) {
+		p := s.dq[s.dqHead]
+		s.dq[s.dqHead] = nil
+		s.dqHead++
+		if s.dqHead == len(s.dq) {
+			s.dq = s.dq[:0]
+			s.dqHead = 0
+		}
+		return p
+	}
+	return nil
+}
+
+// shardOf hashes a tile to its home shard (FNV-1a over the
+// coordinates), fixing which worker's queue a dynamic tile lands in.
+func (n *node) shardOf(t []int64) int {
+	if len(n.shards) <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(n.shards)))
+}
+
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// popAny claims a tile for worker w: its own shard first, then — if the
+// node-wide queued count says there is anything to take — the other
+// shards in a randomized rotation. Reports whether the tile was stolen.
+func (n *node) popAny(w int) (*pendTile, bool) {
+	s := &n.shards[w]
+	s.mu.Lock()
+	p := s.popLocal()
+	s.mu.Unlock()
+	if p != nil {
+		n.qlen.Add(-1)
+		n.localPopsA.Add(1)
+		return p, false
+	}
+	ns := len(n.shards)
+	if ns == 1 || n.qlen.Load() == 0 {
+		return nil, false
+	}
+	start := int(xorshift64(&s.rng) % uint64(ns-1))
+	for i := 0; i < ns-1; i++ {
+		v := &n.shards[(w+1+(start+i)%(ns-1))%ns]
+		v.mu.Lock()
+		p = v.stealOne()
+		v.mu.Unlock()
+		if p != nil {
+			n.qlen.Add(-1)
+			n.stealsA.Add(1)
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// enqueue makes a tile runnable: emit its ready event, push it into its
+// home shard (heap for dynamic tiles, deque for static ones), and wake
+// a sleeping worker if there is one. The epoch bump is what makes the
+// wakeup race-free: a worker only commits to sleeping if the epoch it
+// read before its (empty) scan is still current, so either it sees this
+// push's epoch change and rescans, or its registration in sleepers is
+// visible here and the signal lands. lane is the caller's trace lane.
+func (n *node) enqueue(p *pendTile, lane *obs.Lane) {
+	if lane != nil {
+		lane.Instant(obs.KReady, obs.TileID(p.tile), -1, 0)
+	}
+	s := &n.shards[p.group]
+	s.mu.Lock()
+	if p.static {
+		s.dq = append(s.dq, p)
+	} else {
+		s.heap.push(p)
+	}
+	s.mu.Unlock()
+	atomicMax(&n.peakQueueDepth, n.qlen.Add(1))
+	n.epoch.Add(1)
+	if n.sleepers.Load() > 0 {
+		n.mu.Lock()
+		n.cond.Signal()
+		n.mu.Unlock()
+	}
+}

@@ -64,6 +64,8 @@ func (r *PathReport) Ratio() float64 {
 	return float64(r.CriticalPath) / float64(r.Makespan)
 }
 
+// String renders the report as the one-line summary printed by the
+// dprun -critpath flag.
 func (r *PathReport) String() string {
 	return fmt.Sprintf("critical path %v (compute %v + comm %v) over %d/%d tiles; makespan %v (ratio %.2f)",
 		r.CriticalPath, r.Compute, r.Comm, r.ChainTiles, r.Tiles, r.Makespan, r.Ratio())

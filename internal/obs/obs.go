@@ -90,6 +90,12 @@ const (
 	// KReplay marks the completion of retained-frame replay to a
 	// rejoined peer; Val is the number of frames replayed.
 	KReplay
+	// KQueueDepth is a counter sample of the node's ready-queue depth
+	// (tiles queued across the worker shards), taken at tile
+	// completion; Val is the depth. KPop's Val distinguishes how the
+	// queues drain: 1 for a tile stolen from another worker's shard, 0
+	// for a local pop.
+	KQueueDepth
 	kindCount
 )
 
@@ -97,9 +103,11 @@ var kindNames = [kindCount]string{
 	"ready", "pop", "unpack", "kernel", "pack",
 	"send", "recv", "stall", "idle", "pending_edges",
 	"checkpoint", "recover", "heartbeat_miss", "peer_restart",
-	"peer_down", "park", "rejoin", "replay",
+	"peer_down", "park", "rejoin", "replay", "queue_depth",
 }
 
+// String returns the kind's wire name (the "k" field of the JSONL
+// trace format).
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]

@@ -34,7 +34,14 @@ type NodeMetrics struct {
 	// the frame and metadata overhead documented in docs/TRANSPORT.md.
 	BytesSent        int64  `json:"bytes_sent"`
 	PendingEdgesPeak int64  `json:"pending_edges_peak"`
-	EventsDropped    uint64 `json:"events_dropped"`
+	// Steals and LocalPops split tile claims by origin, folded from KPop
+	// events (Val 1 = taken from another worker's shard, 0 = the popping
+	// worker's own). QueueDepthPeak is the highest sampled ready-queue
+	// depth (KQueueDepth events) across the node's shards.
+	Steals         int64  `json:"steals"`
+	LocalPops      int64  `json:"local_pops"`
+	QueueDepthPeak int64  `json:"queue_depth_peak"`
+	EventsDropped  uint64 `json:"events_dropped"`
 	// CheckpointBytes is the total encoded size of fault-tolerance
 	// checkpoints written (KCheckpoint events); Checkpoints counts them.
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
@@ -94,6 +101,16 @@ func (tr *Trace) Metrics() *Metrics {
 		case KPending:
 			if e.Val > nm.PendingEdgesPeak {
 				nm.PendingEdgesPeak = e.Val
+			}
+		case KPop:
+			if e.Val == 1 {
+				nm.Steals++
+			} else {
+				nm.LocalPops++
+			}
+		case KQueueDepth:
+			if e.Val > nm.QueueDepthPeak {
+				nm.QueueDepthPeak = e.Val
 			}
 		case KCheckpoint:
 			nm.Checkpoints++
@@ -159,6 +176,12 @@ var promFamilies = []promFamily{
 		func(n *NodeMetrics) any { return n.BytesRecv }},
 	{"dp_pending_edges_peak", "gauge", "Peak sampled pending-edge count per node (Figure 4 quantity).",
 		func(n *NodeMetrics) any { return n.PendingEdgesPeak }},
+	{"dp_steals_total", "counter", "Tiles claimed from another worker's ready-queue shard, per node.",
+		func(n *NodeMetrics) any { return n.Steals }},
+	{"dp_local_pops_total", "counter", "Tiles claimed from the popping worker's own shard, per node.",
+		func(n *NodeMetrics) any { return n.LocalPops }},
+	{"dp_ready_queue_depth_peak", "gauge", "Peak sampled ready-queue depth across a node's shards.",
+		func(n *NodeMetrics) any { return n.QueueDepthPeak }},
 	{"dp_trace_events_dropped_total", "counter", "Trace events lost to ring-buffer overwrite per node.",
 		func(n *NodeMetrics) any { return n.EventsDropped }},
 	{"dp_checkpoint_bytes_total", "counter", "Bytes written to fault-tolerance checkpoints per node.",

@@ -1,0 +1,142 @@
+package tiling
+
+import (
+	"testing"
+
+	"dpgen/internal/spec"
+)
+
+// staticSpecs returns the fixture specs whose tile graphs exercise the
+// wavefront-level machinery: all-positive templates (bandit2),
+// diagonal reach (diag2), and a mixed-sign template (negdep, one
+// dimension executing downward).
+func staticSpecs(t *testing.T) map[string]*spec.Spec {
+	return map[string]*spec.Spec{
+		"bandit2": bandit2(t, 3),
+		"diag2":   diag2(t, 2),
+		"negdep":  negdep(t),
+	}
+}
+
+// TestTileLevelTopologicalOrder: the defining property of the
+// wavefront level — every in-space producer of a tile has a strictly
+// smaller level than the tile itself, so releasing levels in ascending
+// order is a valid schedule.
+func TestTileLevelTopologicalOrder(t *testing.T) {
+	for name, sp := range staticSpecs(t) {
+		tl, err := New(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		params := []int64{9}
+		probe := tl.NewProbe(params)
+		d := len(sp.Vars)
+		prod := make([]int64, d)
+		checked := 0
+		tl.ForEachTile(params, func(tile []int64) bool {
+			lvl := tl.TileLevel(tile)
+			for _, dep := range tl.TileDeps {
+				for k := 0; k < d; k++ {
+					prod[k] = tile[k] + dep.Offset[k]
+				}
+				if !probe.InSpace(prod) {
+					continue
+				}
+				if pl := tl.TileLevel(prod); pl >= lvl {
+					t.Fatalf("%s: producer %v level %d >= consumer %v level %d",
+						name, prod, pl, tile, lvl)
+				}
+				checked++
+			}
+			return true
+		})
+		if checked == 0 {
+			t.Errorf("%s: no tile dependences checked", name)
+		}
+	}
+}
+
+// TestTileLevelBoundsContainment: every actual tile level falls inside
+// the interval-arithmetic sizing bound.
+func TestTileLevelBoundsContainment(t *testing.T) {
+	for name, sp := range staticSpecs(t) {
+		tl, err := New(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		params := []int64{8}
+		lo, hi := tl.TileLevelBounds(params)
+		if hi < lo {
+			t.Fatalf("%s: empty bound [%d, %d]", name, lo, hi)
+		}
+		tl.ForEachTile(params, func(tile []int64) bool {
+			if l := tl.TileLevel(tile); l < lo || l > hi {
+				t.Fatalf("%s: tile %v level %d outside bounds [%d, %d]",
+					name, tile, l, lo, hi)
+			}
+			return true
+		})
+	}
+}
+
+// TestForEachTileLevelMatchesForEachTile: the combined scan visits the
+// same tiles in the same order as ForEachTile, with levels and
+// interior flags matching the individual queries.
+func TestForEachTileLevelMatchesForEachTile(t *testing.T) {
+	for name, sp := range staticSpecs(t) {
+		tl, err := New(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		params := []int64{13}
+		var ref [][]int64
+		tl.ForEachTile(params, func(tile []int64) bool {
+			ref = append(ref, append([]int64(nil), tile...))
+			return true
+		})
+		probe := tl.NewProbe(params)
+		i := 0
+		interiorSeen := false
+		tl.ForEachTileLevel(params, func(tile []int64, level int64, interior bool) bool {
+			if i >= len(ref) {
+				t.Fatalf("%s: scan visited more than %d tiles", name, len(ref))
+			}
+			for k := range tile {
+				if tile[k] != ref[i][k] {
+					t.Fatalf("%s: tile %d is %v, ForEachTile saw %v", name, i, tile, ref[i])
+				}
+			}
+			if want := tl.TileLevel(tile); level != want {
+				t.Fatalf("%s: tile %v reported level %d, TileLevel says %d", name, tile, level, want)
+			}
+			if want := probe.Interior(tile); interior != want {
+				t.Fatalf("%s: tile %v reported interior=%v, probe says %v", name, tile, interior, want)
+			}
+			interiorSeen = interiorSeen || interior
+			i++
+			return true
+		})
+		if i != len(ref) {
+			t.Fatalf("%s: scan visited %d tiles, ForEachTile %d", name, i, len(ref))
+		}
+		if name == "bandit2" && !interiorSeen {
+			t.Errorf("%s: no interior tile at N=13 — fixture too small to exercise the flag", name)
+		}
+	}
+}
+
+// TestForEachTileLevelEarlyStop: returning false stops the scan.
+func TestForEachTileLevelEarlyStop(t *testing.T) {
+	tl, err := New(bandit2(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tl.ForEachTileLevel([]int64{9}, func([]int64, int64, bool) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d tiles after early stop, want 3", n)
+	}
+}
