@@ -1,0 +1,297 @@
+// Command dploadgen is the closed-loop load driver for dpserve: N
+// concurrent clients issue a mixed stream of /v1/query requests
+// (builtin problems and spec-text variants, spread over tenants and
+// parameter values), and the tool reports throughput, p50/p95/p99
+// latency, and the cache/coalescing/shedding behaviour per concurrency
+// level. With -bench-json it writes a machine-readable snapshot
+// (schema dpgen-bench-serve/v1, committed as BENCH_serve.json).
+//
+// Usage:
+//
+//	dpserve -addr :8080 &
+//	dploadgen -addr http://localhost:8080 -clients 4,16 -duration 10s
+//
+// Exit-code gates for CI smoke tests:
+//
+//	-require-cache-hits   fail unless the run saw cached or coalesced
+//	                      responses (the caches demonstrably worked)
+//	-max-5xx N            fail if more than N responses were 5xx
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpgen/internal/problems"
+	"dpgen/internal/serve"
+)
+
+// triSpec is the spec-text half of the mix: a triangular 2-D space
+// whose parameter is varied per request to control result-memo hit
+// rates. All spellings of it hash to one compiled program server-side.
+const triSpec = `name loadtri
+params N
+vars i j
+constraint 0 <= i <= N
+constraint 0 <= j <= i
+dep left -1 0
+dep down 0 -1
+tile 8 8
+`
+
+type sample struct {
+	ns        int64
+	status    int
+	cached    bool
+	coalesced bool
+}
+
+// levelRow is one concurrency level's aggregate, the unit of the
+// BENCH_serve.json snapshot.
+type levelRow struct {
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Cached    int     `json:"cached"`
+	Coalesced int     `json:"coalesced"`
+	Shed      int     `json:"shed"`
+	Err4xx    int     `json:"err_4xx"`
+	Err5xx    int     `json:"err_5xx"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+}
+
+type benchSnapshot struct {
+	Schema string     `json:"schema"`
+	Go     string     `json:"go"`
+	GOOS   string     `json:"goos"`
+	GOARCH string     `json:"goarch"`
+	CPUs   int        `json:"cpus"`
+	Mix    string     `json:"mix"`
+	Levels []levelRow `json:"levels"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "dpserve base URL")
+		clients   = flag.String("clients", "4,16", "comma-separated concurrency levels, run in order")
+		duration  = flag.Duration("duration", 10*time.Second, "wall time per level")
+		probList  = flag.String("problems", "editdist,lcs2,bandit2", "builtin problems in the mix (empty: spec-only)")
+		spread    = flag.Int("param-spread", 4, "distinct parameter variants per problem (1: maximal memo hits)")
+		tenants   = flag.Int("tenants", 2, "distinct tenants to spread requests over")
+		nodes     = flag.Int("nodes", 1, "nodes per query")
+		threads   = flag.Int("threads", 1, "threads per query")
+		sched     = flag.String("sched", "hybrid", "tile scheduler per query")
+		seed      = flag.Int64("seed", 1, "mix RNG seed")
+		noMemo    = flag.Bool("no-result-cache", false, "set noResultCache on every query (forces a run per non-coalesced request; used to provoke shedding)")
+		benchJSON = flag.String("bench-json", "", "write a dpgen-bench-serve/v1 snapshot to this file")
+		wantHits  = flag.Bool("require-cache-hits", false, "exit 1 unless cached or coalesced responses occurred")
+		max5xx    = flag.Int("max-5xx", -1, "exit 1 if 5xx responses exceed this (-1: no gate)")
+	)
+	flag.Parse()
+
+	reqs, err := buildMix(*probList, *spread, *nodes, *threads, *sched, *noMemo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var levels []int
+	for _, f := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "dploadgen: bad -clients element %q\n", f)
+			os.Exit(1)
+		}
+		levels = append(levels, n)
+	}
+
+	snap := benchSnapshot{
+		Schema: "dpgen-bench-serve/v1",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Mix:    fmt.Sprintf("problems=%s spread=%d tenants=%d spec=loadtri", *probList, *spread, *tenants),
+	}
+	fmt.Printf("%-8s %9s %7s %7s %9s %5s %5s %5s %9s %9s %9s\n",
+		"clients", "requests", "ok", "cached", "coalesced", "shed", "4xx", "5xx", "p50(ms)", "p95(ms)", "p99(ms)")
+	total5xx, totalHits := 0, 0
+	for _, n := range levels {
+		row := runLevel(*addr, reqs, n, *duration, *tenants, *seed)
+		snap.Levels = append(snap.Levels, row)
+		total5xx += row.Err5xx
+		totalHits += row.Cached + row.Coalesced
+		fmt.Printf("%-8d %9d %7d %7d %9d %5d %5d %5d %9.2f %9.2f %9.2f\n",
+			row.Clients, row.Requests, row.OK, row.Cached, row.Coalesced, row.Shed,
+			row.Err4xx, row.Err5xx, row.P50Ms, row.P95Ms, row.P99Ms)
+	}
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(&snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dploadgen: write %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	if *wantHits && totalHits == 0 {
+		fmt.Fprintln(os.Stderr, "dploadgen: FAIL: no cached or coalesced responses observed")
+		os.Exit(1)
+	}
+	if *max5xx >= 0 && total5xx > *max5xx {
+		fmt.Fprintf(os.Stderr, "dploadgen: FAIL: %d 5xx responses (gate %d)\n", total5xx, *max5xx)
+		os.Exit(1)
+	}
+}
+
+// buildMix expands the problem list and parameter spread into the pool
+// of distinct requests the clients draw from.
+func buildMix(probList string, spread, nodes, threads int, sched string, noMemo bool) ([]serve.QueryRequest, error) {
+	if spread < 1 {
+		spread = 1
+	}
+	var reqs []serve.QueryRequest
+	if probList != "" {
+		for _, name := range strings.Split(probList, ",") {
+			name = strings.TrimSpace(name)
+			p, err := problems.Get(name)
+			if err != nil {
+				return nil, fmt.Errorf("dploadgen: %w", err)
+			}
+			// Builtins run at their default params only: FixedParams
+			// problems bake inputs into their kernels, and the free-param
+			// builtins at defaults exercise the memo's hot path. The
+			// parameter spread comes from the spec-text half of the mix.
+			vary := spread
+			if p.FixedParams || len(p.DefaultParams) == 0 {
+				vary = 1
+			}
+			for k := 0; k < vary; k++ {
+				params := append([]int64(nil), p.DefaultParams...)
+				if k > 0 {
+					params[0] += int64(k)
+				}
+				reqs = append(reqs, serve.QueryRequest{
+					Problem: name, Params: params, Nodes: nodes, Threads: threads, Sched: sched,
+					NoResultCache: noMemo,
+				})
+			}
+		}
+	}
+	for k := 0; k < spread; k++ {
+		reqs = append(reqs, serve.QueryRequest{
+			Spec: triSpec, Params: []int64{int64(48 + k)}, Nodes: nodes, Threads: threads, Sched: sched,
+			NoResultCache: noMemo,
+		})
+	}
+	return reqs, nil
+}
+
+// runLevel drives n closed-loop clients for d and aggregates.
+func runLevel(addr string, reqs []serve.QueryRequest, n int, d time.Duration, tenants int, seed int64) levelRow {
+	deadline := time.Now().Add(d)
+	samples := make([][]sample, n)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			client := &http.Client{Timeout: 2 * time.Minute}
+			for time.Now().Before(deadline) {
+				req := reqs[rng.Intn(len(reqs))]
+				req.Tenant = fmt.Sprintf("tenant-%d", rng.Intn(tenants))
+				samples[c] = append(samples[c], issue(client, addr, &req))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	row := levelRow{Clients: n, DurationS: d.Seconds()}
+	var all []int64
+	var sumNs int64
+	for _, cs := range samples {
+		for _, s := range cs {
+			row.Requests++
+			switch {
+			case s.status == http.StatusOK:
+				row.OK++
+				if s.cached {
+					row.Cached++
+				}
+				if s.coalesced {
+					row.Coalesced++
+				}
+			case s.status == http.StatusTooManyRequests:
+				row.Shed++
+			case s.status >= 500:
+				row.Err5xx++
+			case s.status >= 400:
+				row.Err4xx++
+			}
+			all = append(all, s.ns)
+			sumNs += s.ns
+		}
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		row.P50Ms = pctMs(all, 50)
+		row.P95Ms = pctMs(all, 95)
+		row.P99Ms = pctMs(all, 99)
+		row.MeanMs = float64(sumNs) / float64(len(all)) / 1e6
+		row.QPS = float64(row.Requests) / d.Seconds()
+	}
+	return row
+}
+
+// issue sends one query and classifies the response.
+func issue(client *http.Client, addr string, req *serve.QueryRequest) sample {
+	data, _ := json.Marshal(req)
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/v1/query", "application/json", bytes.NewReader(data))
+	s := sample{ns: time.Since(t0).Nanoseconds()}
+	if err != nil {
+		s.status = 599 // transport failure counts as a 5xx
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var qr serve.QueryResponse
+		if json.NewDecoder(resp.Body).Decode(&qr) == nil {
+			s.cached, s.coalesced = qr.Cached, qr.Coalesced
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return s
+}
+
+// pctMs reads the p-th percentile (nearest-rank) of sorted ns samples
+// in milliseconds.
+func pctMs(sorted []int64, p int) float64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx]) / 1e6
+}

@@ -19,6 +19,7 @@ var docCheckedPackages = []string{
 	"internal/engine",
 	"internal/tiling",
 	"internal/obs",
+	"internal/serve",
 }
 
 // TestGodocCoverage fails for every exported top-level identifier (and

@@ -188,6 +188,20 @@ func RunProblem(p *Problem, params []int64, cfg Config) (*Result, error) {
 	return Run(p.Spec, p.Kernel, params, cfg)
 }
 
+// Prepared is an analyzed spec additionally load-balanced for fixed
+// parameter values and node count: Prepared.Run skips both the balance
+// computation and the initial-tile scan on every execution. This is the
+// unit dpserve's compiled-spec cache stores per (spec, params, nodes).
+type Prepared = engine.Prepared
+
+// Prepare builds a Prepared run front for repeated executions of one
+// (analysis, params, nodes) combination. The kernel and the remaining
+// Config knobs (threads, scheduler, tracing) stay free per run;
+// Config.Nodes and Config.Balance must match what was prepared.
+func Prepare(tl *Analysis, params []int64, nodes int, method BalanceMethod) (*Prepared, error) {
+	return engine.Prepare(tl, params, nodes, method)
+}
+
 // DialTCP establishes this process's endpoint of a multi-process TCP
 // mesh: peers[r] is rank r's listen address and rank is this process's
 // index into it. It blocks until the full mesh is connected (peers may

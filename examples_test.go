@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"lcs", []string{"-len", "16", "-nodes", "2", "-threads", "2"}, "verified: the recovered string"},
 		{"tuning", []string{"-N", "30", "-nodes", "2", "-cores", "4"}, "best: tile width"},
 		{"codegen", []string{"-o", t.TempDir() + "/gen.go"}, "standalone, stdlib-only Go"},
+		{"serving", []string{"-N", "24", "-concurrent", "4"}, "the compiled-spec cache works"},
 	}
 	for _, c := range cases {
 		cmd := exec.Command("go", append([]string{"run", "./examples/" + c.dir}, c.args...)...)

@@ -274,6 +274,13 @@ type engine struct {
 // distributed job (see Config.Transport); otherwise it simulates all
 // cfg.Nodes ranks in-process.
 func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result, error) {
+	return run(tl, kernel, params, cfg, nil)
+}
+
+// run is the shared body behind Run and Prepared.Run. A non-nil prep
+// supplies the precomputed load-balance assignment and initial-tile
+// scan (see prepare.go), skipping the per-run cost of both.
+func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Prepared) (*Result, error) {
 	cfg = cfg.withDefaults()
 	tr := cfg.Transport
 	distributed := tr != nil
@@ -304,11 +311,21 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 	}
 
 	start := time.Now()
-	assign, err := balance.Build(tl, params, cfg.Nodes, cfg.Balance)
-	if err != nil {
-		return nil, err
+	var assign *balance.Assignment
+	var balanceTime time.Duration
+	var err error
+	if prep != nil {
+		if err = prep.check(cfg); err != nil {
+			return nil, err
+		}
+		assign, balanceTime = prep.assign, prep.balanceTime
+	} else {
+		assign, err = balance.Build(tl, params, cfg.Nodes, cfg.Balance)
+		if err != nil {
+			return nil, err
+		}
+		balanceTime = time.Since(start)
 	}
-	balanceTime := time.Since(start)
 	var comm *mpi.Comm
 	if !distributed {
 		comm, err = mpi.NewComm(cfg.Nodes, cfg.SendBufs, cfg.RecvBufs)
@@ -352,18 +369,17 @@ func Run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config) (*Result,
 			nodeByRank[i] = nodes[i]
 		}
 	}
-	initial, _, err := tl.InitialTilesFast(params)
-	if err != nil {
+	var initial [][]int64
+	var ownedTotals []int64
+	if prep != nil {
+		initial, ownedTotals = prep.initial, prep.ownedTotals
+	} else {
+		initial, ownedTotals = initialAndTotals(tl, params, assign, cfg.Nodes)
+	}
+	if ownedTotals != nil {
 		for _, n := range nodes {
-			n.ownedTotal = 0
+			n.ownedTotal = ownedTotals[n.id]
 		}
-		tl.ForEachTile(params, func(t []int64) bool {
-			if n := nodeByRank[assign.Owner(t)]; n != nil {
-				n.ownedTotal++
-			}
-			return true
-		})
-		initial, _ = tl.InitialTiles(params)
 	}
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("engine: no initial tiles — the dependence graph is cyclic or the space is empty")

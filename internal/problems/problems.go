@@ -33,6 +33,13 @@ type Problem struct {
 	// space (engine Result.Max) rather than the goal-location value —
 	// e.g. local sequence alignment.
 	UseMax bool
+	// FixedParams marks problems whose kernel closes over concrete
+	// inputs sized by DefaultParams (the sequence problems bake their
+	// strings into the closure), so the parameters are not free: running
+	// with other values reads out of the baked-in inputs' bounds.
+	// Callers accepting untrusted parameter values (dpserve) must reject
+	// anything but DefaultParams for these.
+	FixedParams bool
 }
 
 // Registry returns the built-in problems at small default sizes, keyed

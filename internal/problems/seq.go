@@ -81,7 +81,7 @@ func EditDistance(a, b string, sub func(x, y byte) float64, gap float64) *Proble
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial,
+		Spec: sp, Kernel: kernel, Serial: serial, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b))},
 	}
 }
@@ -197,7 +197,7 @@ func LCS3(a, b, c string) *Problem {
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial,
+		Spec: sp, Kernel: kernel, Serial: serial, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b)), int64(len(c))},
 	}
 }
@@ -307,7 +307,7 @@ func MSA3(a, b, c string, sub func(x, y byte) float64, gap float64) *Problem {
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial,
+		Spec: sp, Kernel: kernel, Serial: serial, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b)), int64(len(c))},
 	}
 }

@@ -80,7 +80,7 @@ func SmithWaterman(a, b string, score func(x, y byte) float64, gap float64) *Pro
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial, UseMax: true,
+		Spec: sp, Kernel: kernel, Serial: serial, UseMax: true, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b))},
 	}
 }
@@ -161,7 +161,7 @@ func LCS2(a, b string) *Problem {
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial,
+		Spec: sp, Kernel: kernel, Serial: serial, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b))},
 	}
 }
@@ -275,7 +275,7 @@ func MSA4(a, b, c, d string, sub func(x, y byte) float64, gap float64) *Problem 
 	}
 
 	return &Problem{
-		Spec: sp, Kernel: kernel, Serial: serial,
+		Spec: sp, Kernel: kernel, Serial: serial, FixedParams: true,
 		DefaultParams: []int64{int64(len(a)), int64(len(b)), int64(len(c)), int64(len(d))},
 	}
 }

@@ -1,0 +1,114 @@
+// Spec canonicalization: the cache key of the compiled-spec cache.
+// Two requests whose spec texts differ only in comments, whitespace,
+// constraint spelling (0 <= x vs x >= 0), constraint order, or code
+// fragments map to one canonical form, one hash, and one compiled
+// program. Code fragments are excluded deliberately: the in-process
+// server resolves kernels from its registry by name (see kernels.go),
+// so the polyhedral artifacts being cached — FM nests, Ehrhart counts,
+// tiling, pack/unpack scans — do not depend on them. Everything that
+// does shape those artifacts (names, variables, constraints, the
+// dependence vectors in declaration order, loop order, balance dims,
+// tile widths, element type, goal) is part of the canonical form.
+
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpgen/internal/lin"
+	"dpgen/internal/spec"
+)
+
+// Canonicalize renders a parsed, validated spec into its canonical
+// text form: directives in fixed order, constraints tightened and
+// sorted, dependence vectors in declaration order (their order is
+// semantic — kernels address them by index), defaults made explicit.
+// The output re-parses to an equivalent spec.
+func Canonicalize(sp *spec.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name %s\n", sp.Name)
+	if len(sp.Params) > 0 {
+		fmt.Fprintf(&b, "params %s\n", strings.Join(sp.Params, " "))
+	}
+	fmt.Fprintf(&b, "vars %s\n", strings.Join(sp.Vars, " "))
+
+	cons := make([]string, 0, len(sp.Constraints))
+	seen := map[string]bool{}
+	for _, q := range sp.Constraints {
+		c := renderIneq(q.Tighten())
+		if !seen[c] {
+			seen[c] = true
+			cons = append(cons, c)
+		}
+	}
+	sort.Strings(cons)
+	for _, c := range cons {
+		fmt.Fprintf(&b, "constraint %s\n", c)
+	}
+	for _, d := range sp.Deps {
+		comps := make([]string, len(d.Vec))
+		for i, v := range d.Vec {
+			comps[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "dep %s <%s>\n", d.Name, strings.Join(comps, ", "))
+	}
+	fmt.Fprintf(&b, "order %s\n", strings.Join(sp.Order(), " "))
+	fmt.Fprintf(&b, "balance %s\n", strings.Join(sp.Balance(), " "))
+	widths := make([]string, 0, len(sp.Vars))
+	for _, w := range sp.Widths() {
+		widths = append(widths, fmt.Sprintf("%d", w))
+	}
+	fmt.Fprintf(&b, "tile %s\n", strings.Join(widths, " "))
+	fmt.Fprintf(&b, "elem %s\n", sp.ElemType())
+	goal := make([]string, 0, len(sp.Vars))
+	for _, g := range sp.GoalPoint() {
+		goal = append(goal, fmt.Sprintf("%d", g))
+	}
+	fmt.Fprintf(&b, "goal %s\n", strings.Join(goal, " "))
+	return b.String()
+}
+
+// renderIneq renders expr >= 0 as "pos >= neg" with only nonnegative
+// terms on each side, so the result survives a round trip through the
+// constraint parser (which has no unary minus).
+func renderIneq(q lin.Ineq) string {
+	space := q.Space()
+	var pos, neg []string
+	for i, c := range q.Coef {
+		name := space.Name(i)
+		switch {
+		case c == 1:
+			pos = append(pos, name)
+		case c > 1:
+			pos = append(pos, fmt.Sprintf("%d*%s", c, name))
+		case c == -1:
+			neg = append(neg, name)
+		case c < -1:
+			neg = append(neg, fmt.Sprintf("%d*%s", -c, name))
+		}
+	}
+	if q.K > 0 {
+		pos = append(pos, fmt.Sprintf("%d", q.K))
+	} else if q.K < 0 {
+		neg = append(neg, fmt.Sprintf("%d", -q.K))
+	}
+	lhs, rhs := strings.Join(pos, " + "), strings.Join(neg, " + ")
+	if lhs == "" {
+		lhs = "0"
+	}
+	if rhs == "" {
+		rhs = "0"
+	}
+	return lhs + " >= " + rhs
+}
+
+// SpecHash returns the content hash of a canonical spec form — the
+// compiled-spec cache key, reported to clients as specHash.
+func SpecHash(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:16])
+}

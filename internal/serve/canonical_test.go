@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"dpgen/internal/problems"
+	"dpgen/internal/spec"
+)
+
+// Textually different but semantically identical specs: constraint
+// order, spelling (0 <= i vs i >= 0), strictness rewrites, comments,
+// explicit defaults, and code fragments must not change the hash.
+const triSpecA = `
+name tri
+params N
+vars i j
+constraint 0 <= i <= N
+constraint 0 <= j <= i
+dep left -1 0
+dep down 0 -1
+`
+
+const triSpecB = `
+# same triangle, different spelling
+name tri
+params N
+vars i j
+constraint j <= i
+constraint i <= N
+constraint i >= 0
+constraint j > -1
+dep left <-1, 0>
+dep down <0, -1>
+order i j
+tile 8 8
+elem float64
+goal 0 0
+kernel:
+  ignored by the server
+end
+`
+
+func mustParse(t *testing.T, text string) *spec.Spec {
+	t.Helper()
+	sp, err := spec.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return sp
+}
+
+func TestCanonicalizeEquivalentSpecs(t *testing.T) {
+	a := Canonicalize(mustParse(t, triSpecA))
+	b := Canonicalize(mustParse(t, triSpecB))
+	if a != b {
+		t.Fatalf("equivalent specs canonicalize differently:\n--- A ---\n%s--- B ---\n%s", a, b)
+	}
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatalf("hash mismatch for identical canonical forms")
+	}
+}
+
+func TestCanonicalizeDistinguishesSemantics(t *testing.T) {
+	base := Canonicalize(mustParse(t, triSpecA))
+	for _, mod := range []struct{ name, text string }{
+		{"constraint", strings.Replace(triSpecA, "j <= i", "j <= i + 1", 1)},
+		{"dep order", strings.Replace(triSpecA, "dep left -1 0\ndep down 0 -1", "dep down 0 -1\ndep left -1 0", 1)},
+		{"tile", triSpecA + "tile 4 4\n"},
+		{"goal", triSpecA + "goal 1 0\n"},
+	} {
+		got := Canonicalize(mustParse(t, mod.text))
+		if got == base {
+			t.Errorf("%s change did not change the canonical form", mod.name)
+		}
+	}
+}
+
+// The canonical form must re-parse to a spec with the same canonical
+// form (fixed point), for every builtin problem.
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, name := range problems.Names() {
+		p, err := problems.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := Canonicalize(p.Spec)
+		sp2, err := spec.Parse(canon)
+		if err != nil {
+			t.Fatalf("%s: canonical form does not re-parse: %v\n%s", name, err, canon)
+		}
+		if again := Canonicalize(sp2); again != canon {
+			t.Errorf("%s: canonicalization is not a fixed point:\n--- first ---\n%s--- second ---\n%s", name, canon, again)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// The server-side kernel registry. The in-process engine needs a Go
+// function for the center loop; a network request cannot ship one. A
+// request therefore names its kernel: builtin problems carry their own
+// (the problem field), and spec-text requests pick a generic kernel by
+// name. Generic kernels work for any spec — they read only the Ctx
+// contract (dependence values, validity flags, coordinates) — and are
+// deterministic, so memoized results are exact.
+
+package serve
+
+import (
+	"fmt"
+
+	"dpgen/internal/engine"
+)
+
+// DefaultKernel is the kernel used by spec-text requests that do not
+// name one.
+const DefaultKernel = "mix"
+
+// GenericKernels lists the kernels available to spec-text requests, in
+// a stable order.
+func GenericKernels() []string { return []string{"mix", "sum", "longest"} }
+
+// lookupKernel resolves a generic kernel by name; every generic kernel
+// adapts to the spec's dependence count through the Ctx slices.
+func lookupKernel(name string) (engine.Kernel, error) {
+	switch name {
+	case "", DefaultKernel:
+		// A contraction mix of coordinates and dependence values with
+		// weights summing below one, so values stay bounded along any
+		// dependence chain (the dpfuzz reference kernel's recipe).
+		return func(c *engine.Ctx) {
+			v := 1.0
+			for k, xv := range c.X {
+				v += float64((int64(k+1)*31+xv*17)%23) * 0.0625
+			}
+			for j := range c.DepValid {
+				if c.DepValid[j] {
+					v += c.V[c.DepLoc[j]] * (0.5 / float64(j+1))
+				} else {
+					v -= float64(j+1) * 0.125
+				}
+			}
+			c.V[c.Loc] = v
+		}, nil
+	case "sum":
+		// Path counting: 1 plus the sum of valid dependence values. Can
+		// overflow to +Inf on large spaces; still deterministic.
+		return func(c *engine.Ctx) {
+			v := 1.0
+			for j := range c.DepValid {
+				if c.DepValid[j] {
+					v += c.V[c.DepLoc[j]]
+				}
+			}
+			c.V[c.Loc] = v
+		}, nil
+	case "longest":
+		// Longest dependence chain: max over valid dependences plus one.
+		return func(c *engine.Ctx) {
+			v := 0.0
+			for j := range c.DepValid {
+				if c.DepValid[j] && c.V[c.DepLoc[j]]+1 > v {
+					v = c.V[c.DepLoc[j]] + 1
+				}
+			}
+			c.V[c.Loc] = v
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown kernel %q (have %v)", name, GenericKernels())
+	}
+}

@@ -1,0 +1,98 @@
+// A size-bounded LRU shared by the compiled-spec cache and the result
+// memo. Entries carry an explicit byte cost so the result cache can be
+// bounded in memory, not just in entry count; eviction walks from the
+// least recently used end until both bounds hold.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a concurrency-safe LRU bounded by entry count and by
+// total entry cost (approximate bytes). A bound of zero disables that
+// bound.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List
+	items      map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+func newLRU(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) key with the given cost and evicts from
+// the cold end until both bounds hold again.
+func (c *lruCache) add(key string, val any, cost int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, cost: cost})
+		c.bytes += cost
+	}
+	for c.over() {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= e.cost
+		c.evictions++
+	}
+}
+
+// over reports whether either bound is exceeded, keeping at least one
+// entry so a single over-budget value can still be cached.
+func (c *lruCache) over() bool {
+	if c.ll.Len() <= 1 {
+		return false
+	}
+	return (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+// stats snapshots the cache counters.
+func (c *lruCache) stats() (entries int, bytes, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.hits, c.misses, c.evictions
+}

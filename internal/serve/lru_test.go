@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUByteBoundEviction(t *testing.T) {
+	c := newLRU(0, 100)
+	for i := 0; i < 10; i++ {
+		c.add(fmt.Sprintf("k%d", i), i, 30) // 10 * 30 = 300 bytes offered
+	}
+	entries, bytes, _, _, evictions := c.stats()
+	if bytes > 100 {
+		t.Fatalf("bytes %d over bound 100", bytes)
+	}
+	if entries != 3 {
+		t.Fatalf("entries = %d, want 3 (3*30 <= 100 < 4*30)", entries)
+	}
+	if evictions != 7 {
+		t.Fatalf("evictions = %d, want 7", evictions)
+	}
+	// The survivors are the most recently added.
+	for i := 7; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing, want resident", i)
+		}
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Errorf("k0 resident, want evicted")
+	}
+}
+
+func TestLRUEntryBoundAndRecency(t *testing.T) {
+	c := newLRU(2, 0)
+	c.add("a", 1, 1)
+	c.add("b", 2, 1)
+	if _, ok := c.get("a"); !ok { // refresh a; b is now coldest
+		t.Fatal("a missing")
+	}
+	c.add("c", 3, 1)
+	if _, ok := c.get("b"); ok {
+		t.Error("b resident, want evicted (coldest)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted, want resident (recently used)")
+	}
+}
+
+func TestLRUKeepsSingleOversizeEntry(t *testing.T) {
+	c := newLRU(0, 10)
+	c.add("big", 1, 1000)
+	if _, ok := c.get("big"); !ok {
+		t.Fatal("single over-budget entry should stay resident")
+	}
+	c.add("big2", 2, 1000)
+	entries, _, _, _, _ := c.stats()
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+}
+
+func TestLRURefreshUpdatesCost(t *testing.T) {
+	c := newLRU(0, 100)
+	c.add("k", 1, 40)
+	c.add("k", 2, 60)
+	entries, bytes, _, _, _ := c.stats()
+	if entries != 1 || bytes != 60 {
+		t.Fatalf("entries=%d bytes=%d, want 1/60", entries, bytes)
+	}
+	v, ok := c.get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("get k = %v/%v, want 2/true", v, ok)
+	}
+}

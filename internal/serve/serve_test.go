@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpgen/internal/problems"
+)
+
+// testServer wires a Server to an httptest endpoint.
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.MaxThreads == 0 {
+		opts.MaxThreads = 8 // independent of the host's GOMAXPROCS
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends req to path and decodes the response into out (when the
+// status is 2xx) or returns the raw body.
+func post(t *testing.T, url, path string, req QueryRequest, out any) (status int, body []byte, hdr http.Header) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decode %s response: %v\n%s", path, err, body)
+		}
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func query(t *testing.T, url string, req QueryRequest) QueryResponse {
+	t.Helper()
+	var qr QueryResponse
+	status, body, _ := post(t, url, "/v1/query", req, &qr)
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d\n%s", status, body)
+	}
+	return qr
+}
+
+// Served builtin answers must match the independent serial references,
+// across node/thread configurations.
+func TestQueryBuiltinMatchesSerial(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	for _, name := range []string{"editdist", "bandit2", "localalign"} {
+		p, err := problems.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Serial(p.DefaultParams)
+		for _, cfg := range []struct{ nodes, threads int }{{1, 1}, {2, 2}} {
+			qr := query(t, ts.URL, QueryRequest{Problem: name, Nodes: cfg.nodes, Threads: cfg.threads})
+			got := qr.Value
+			if p.UseMax {
+				if qr.Max == nil {
+					t.Fatalf("%s: no max in response", name)
+				}
+				got = *qr.Max
+			}
+			if got != want {
+				t.Errorf("%s n=%d t=%d: got %v, want %v", name, cfg.nodes, cfg.threads, got, want)
+			}
+		}
+	}
+}
+
+// A repeated identical query is a result-memo hit: no second compile,
+// no second run, identical answer. The memo key excludes nodes/threads
+// (engine results are bit-identical across configurations), so a
+// different configuration of the same query also hits.
+func TestResultMemoHit(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	q1 := query(t, ts.URL, QueryRequest{Problem: "editdist", Nodes: 2, Threads: 2})
+	if q1.Cached {
+		t.Fatal("first query reported cached")
+	}
+	q2 := query(t, ts.URL, QueryRequest{Problem: "editdist", Nodes: 2, Threads: 2})
+	if !q2.Cached {
+		t.Fatal("second identical query missed the result memo")
+	}
+	q3 := query(t, ts.URL, QueryRequest{Problem: "editdist", Nodes: 1, Threads: 4})
+	if !q3.Cached {
+		t.Fatal("same query at a different node/thread config missed the memo")
+	}
+	if q2.Value != q1.Value || q3.Value != q1.Value {
+		t.Fatalf("cached values diverge: %v %v %v", q1.Value, q2.Value, q3.Value)
+	}
+	if got := s.met.runs.Load(); got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+	if got := s.met.compiles.Load(); got != 1 {
+		t.Fatalf("compiles = %d, want 1", got)
+	}
+}
+
+// Two concurrent identical spec-text queries compile once and run
+// once: the second coalesces onto the first's in-flight execution.
+func TestConcurrentIdenticalQueriesCoalesce(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testRunStarted = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	req := QueryRequest{Spec: triSpecA, Params: []int64{40}, NoResultCache: true}
+	results := make(chan QueryResponse, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- query(t, ts.URL, req)
+		}()
+		if i == 0 {
+			<-started // leader is inside its run slot
+		}
+	}
+	// Give the follower time to reach the coalescing point, then let
+	// the leader finish. (If the follower were somehow late, it would
+	// run separately and the runs==1 assertion below would catch it.)
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var coalesced int
+	var vals []float64
+	for r := range results {
+		if r.Coalesced {
+			coalesced++
+		}
+		vals = append(vals, r.Value)
+	}
+	if got := s.met.compiles.Load(); got != 1 {
+		t.Errorf("compiles = %d, want 1", got)
+	}
+	if got := s.met.runs.Load(); got != 1 {
+		t.Errorf("runs = %d, want 1 (second query should coalesce)", got)
+	}
+	if coalesced != 1 {
+		t.Errorf("coalesced responses = %d, want exactly 1", coalesced)
+	}
+	if len(vals) == 2 && vals[0] != vals[1] {
+		t.Errorf("coalesced values diverge: %v vs %v", vals[0], vals[1])
+	}
+}
+
+// A spec that fails to compile is negatively cached: the second
+// submission is rejected from cache without a second compile, and the
+// server keeps answering good queries.
+func TestNegativeCompileCache(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	bad := []QueryRequest{
+		// Unbounded space: parses, fails polyhedral analysis.
+		{Spec: "name unbounded\nparams N\nvars i\nconstraint i >= 0\ndep d -1\n", Params: []int64{5}},
+		// Unparseable text.
+		{Spec: "this is not a spec"},
+	}
+	for _, req := range bad {
+		for round := 0; round < 2; round++ {
+			status, body, _ := post(t, ts.URL, "/v1/query", req, nil)
+			if status != http.StatusBadRequest {
+				t.Fatalf("bad spec round %d: status %d\n%s", round, status, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Code != ErrCompile {
+				t.Fatalf("bad spec round %d: code %q (err %v), want %q", round, er.Code, err, ErrCompile)
+			}
+		}
+	}
+	if got := s.met.compiles.Load(); got != 2 {
+		t.Errorf("compiles = %d, want 2 (one per distinct bad spec, repeats cached)", got)
+	}
+	if got := s.met.compileErrors.Load(); got != 2 {
+		t.Errorf("compileErrors = %d, want 2", got)
+	}
+	// The queue is not poisoned: a good query still works.
+	qr := query(t, ts.URL, QueryRequest{Problem: "lcs2"})
+	if math.IsNaN(qr.Value) {
+		t.Fatal("good query after bad specs returned NaN")
+	}
+}
+
+// Equivalent spec texts share one compiled program: the second text
+// spelling reports the same specHash and a compile cache hit.
+func TestEquivalentSpecsShareCompiledProgram(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	q1 := query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{30}})
+	q2 := query(t, ts.URL, QueryRequest{Spec: triSpecB, Params: []int64{30}})
+	if q1.SpecHash != q2.SpecHash {
+		t.Fatalf("spec hashes differ: %s vs %s", q1.SpecHash, q2.SpecHash)
+	}
+	if !q2.Cached && !q2.CompileCached {
+		t.Error("second spelling did not reuse the compiled program")
+	}
+	if got := s.met.compiles.Load(); got != 1 {
+		t.Errorf("compiles = %d, want 1", got)
+	}
+	if q1.Value != q2.Value {
+		t.Errorf("values differ: %v vs %v", q1.Value, q2.Value)
+	}
+}
+
+// Under overload the server sheds with 429 and a Retry-After estimate
+// instead of queueing without bound.
+func TestOverloadSheds429WithRetryAfter(t *testing.T) {
+	s, ts := testServer(t, Options{
+		MaxConcurrentRuns: 1,
+		MaxRunQueue:       -1, // no run queue: second run sheds immediately
+		TenantConcurrency: 4,
+		TenantQueue:       4,
+	})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s.testRunStarted = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	done := make(chan QueryResponse, 1)
+	go func() { done <- query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{40}}) }()
+	<-started
+
+	// Distinct params: no coalescing, needs its own run slot.
+	status, body, hdr := post(t, ts.URL, "/v1/query", QueryRequest{Spec: triSpecA, Params: []int64{41}}, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overloaded query: status %d, want 429\n%s", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != ErrOverloaded {
+		t.Fatalf("overloaded query: code %q (err %v), want %q", er.Code, err, ErrOverloaded)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+	close(release)
+	<-done
+	if got := s.met.shed.Load(); got < 1 {
+		t.Errorf("shed counter = %d, want >= 1", got)
+	}
+}
+
+// A draining server refuses new queries with 503 but keeps /metrics
+// and /v1/stats up.
+func TestDrainRefusesWith503(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	query(t, ts.URL, QueryRequest{Problem: "lcs2"})
+	s.Drain()
+	status, body, _ := post(t, ts.URL, "/v1/query", QueryRequest{Problem: "lcs2"}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503\n%s", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != ErrShutdown {
+		t.Fatalf("code %q (err %v), want %q", er.Code, err, ErrShutdown)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics while draining: %v status %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// Bad requests are 400 with stable codes.
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Options{MaxNodes: 2})
+	for _, tc := range []struct {
+		name string
+		req  QueryRequest
+	}{
+		{"neither problem nor spec", QueryRequest{}},
+		{"both problem and spec", QueryRequest{Problem: "lcs2", Spec: triSpecA}},
+		{"unknown problem", QueryRequest{Problem: "nope"}},
+		{"unknown kernel", QueryRequest{Spec: triSpecA, Kernel: "nope", Params: []int64{4}}},
+		{"kernel with builtin", QueryRequest{Problem: "lcs2", Kernel: "mix"}},
+		{"wrong param count", QueryRequest{Problem: "lcs2", Params: []int64{1, 2, 3, 4, 5}}},
+		{"non-default params on a fixed-params problem", QueryRequest{Problem: "editdist", Params: []int64{10, 10}}},
+		{"nodes over cap", QueryRequest{Problem: "lcs2", Nodes: 3}},
+		{"bad scheduler", QueryRequest{Problem: "lcs2", Sched: "static"}},
+	} {
+		status, body, _ := post(t, ts.URL, "/v1/query", tc.req, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400\n%s", tc.name, status, body)
+		}
+	}
+}
+
+// /v1/compile warms the cache; the follow-up query reports
+// compileCached without having run anything yet.
+func TestCompileWarmsCache(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	var cr CompileResponse
+	status, body, _ := post(t, ts.URL, "/v1/compile", QueryRequest{Spec: triSpecA}, &cr)
+	if status != http.StatusOK {
+		t.Fatalf("compile: status %d\n%s", status, body)
+	}
+	if cr.SpecHash == "" || cr.CompileCached {
+		t.Fatalf("compile response: %+v", cr)
+	}
+	if !strings.Contains(cr.Canonical, "name tri") {
+		t.Fatalf("canonical form missing name: %q", cr.Canonical)
+	}
+	if got := s.met.runs.Load(); got != 0 {
+		t.Fatalf("compile triggered %d runs", got)
+	}
+	qr := query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{25}})
+	if !qr.CompileCached {
+		t.Error("query after compile warming missed the spec cache")
+	}
+	if qr.SpecHash != cr.SpecHash {
+		t.Errorf("hash mismatch: query %s vs compile %s", qr.SpecHash, cr.SpecHash)
+	}
+}
+
+// Trace requests return Chrome trace-event JSON and bypass the memo.
+func TestTraceCapture(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	query(t, ts.URL, QueryRequest{Problem: "lcs2"}) // populate memo
+	qr := query(t, ts.URL, QueryRequest{Problem: "lcs2", Trace: true})
+	if qr.Cached {
+		t.Fatal("trace request served from memo (needs a run of its own)")
+	}
+	if len(qr.Trace) == 0 || !json.Valid(qr.Trace) {
+		t.Fatalf("trace missing or invalid JSON (%d bytes)", len(qr.Trace))
+	}
+}
+
+// /v1/stats and /metrics expose the serving counters.
+func TestStatsAndMetrics(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	query(t, ts.URL, QueryRequest{Problem: "lcs2", Tenant: "team-a"})
+	query(t, ts.URL, QueryRequest{Problem: "lcs2", Tenant: "team-a"})
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests["ok"] != 2 || st.Compiles != 1 || st.Runs != 1 || st.ResultCache.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		`dp_serve_requests_total{tenant="team-a",code="ok"} 2`,
+		`dp_serve_result_cache_hits_total{tenant="team-a"} 1`,
+		"dp_serve_spec_cache_entries 1",
+		"dp_serve_compile_seconds_bucket",
+		"dp_serve_run_seconds_count 1",
+		"dp_serve_request_seconds_count",
+		`dp_serve_queue_depth{queue="run"}`,
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+}
+
+// The tenant header overrides the body field.
+func TestTenantHeaderPrecedence(t *testing.T) {
+	s, ts := testServer(t, Options{})
+	data, _ := json.Marshal(QueryRequest{Problem: "lcs2", Tenant: "body-tenant"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(data))
+	req.Header.Set("X-DP-Tenant", "header-tenant")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := s.met.tenant("header-tenant").ok.Load(); got != 1 {
+		t.Fatalf("header-tenant ok = %d, want 1", got)
+	}
+	if got := s.met.tenant("body-tenant").ok.Load(); got != 0 {
+		t.Fatalf("body-tenant ok = %d, want 0", got)
+	}
+}
+
+// Result-memo eviction under a tight byte bound: distinct queries
+// evict, the server stays correct, stats report the evictions.
+func TestResultMemoEvictionUnderByteBound(t *testing.T) {
+	s, ts := testServer(t, Options{ResultCacheBytes: 2 * memoResultCost})
+	for n := int64(20); n < 28; n++ {
+		query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{n}})
+	}
+	_, bytes, _, _, evictions := s.resultCache.stats()
+	if evictions == 0 {
+		t.Fatal("no evictions under a 2-entry byte budget and 8 distinct queries")
+	}
+	if bytes > 2*memoResultCost+64 {
+		t.Fatalf("result cache bytes %d over bound", bytes)
+	}
+	// The most recent query is still memoized; an old one re-runs but
+	// still answers identically.
+	recent := query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{27}})
+	if !recent.Cached {
+		t.Error("most recent result evicted unexpectedly")
+	}
+	old1 := query(t, ts.URL, QueryRequest{Spec: triSpecA, Params: []int64{20}})
+	if old1.Cached {
+		t.Error("oldest result survived a 2-entry budget")
+	}
+}

@@ -1,0 +1,48 @@
+// A minimal singleflight: concurrent callers with one key share one
+// execution and one result. This is the request-coalescing layer — N
+// identical in-flight queries cost one compile and one engine run — and
+// also what keeps a compile stampede on a cold cache to one compile
+// per distinct spec. (The stdlib has no singleflight and the repo is
+// dependency-free by policy, hence the local implementation.)
+
+package serve
+
+import "sync"
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// flightGroup deduplicates concurrent calls by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// do runs fn once per concurrently-active key; late callers block and
+// share the leader's result. shared reports whether this caller
+// coalesced onto another's execution.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}
