@@ -491,6 +491,39 @@ func BenchmarkEnginePaperLCS2(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineNonserial runs the three bounded-template builtins —
+// matrix-chain multiplication, optimal binary search trees, and the
+// bounded knapsack — at their default parameters on a single node,
+// reporting ns/cell. These are the range/variable-distance dependence
+// paths (footprint unpacking, per-cell length clamps) that the
+// constant-offset benchmarks above never touch.
+func BenchmarkEngineNonserial(b *testing.B) {
+	for _, name := range []string{"mcm", "obst", "knap"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := problems.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tl, err := tiling.New(p.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Run(tl, p.Kernel, p.DefaultParams, engine.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = 0
+				for _, st := range res.Stats {
+					cells += st.CellsComputed
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(cells)*1e9, "ns/cell")
+		})
+	}
+}
+
 // BenchmarkSimplexRedundant measures the exact-rational redundancy test.
 func BenchmarkSimplexRedundant(b *testing.B) {
 	s := lin.MustSpace([]string{"N"}, []string{"x", "y"})

@@ -17,6 +17,7 @@
 //	dpfuzz -duration 30m           # as many seeds as fit in 30 minutes
 //	dpfuzz -workers 4              # parallel soak
 //	dpfuzz -killrecover            # add the crash-recovery differential per seed
+//	dpfuzz -class range            # restrict to one template class (const, vardist, range)
 package main
 
 import (
@@ -39,7 +40,14 @@ func main() {
 	progress := flag.Duration("progress", 10*time.Second, "progress report interval")
 	failFast := flag.Bool("failfast", false, "stop at the first failure")
 	killRecover := flag.Bool("killrecover", false, "also run the crash-recovery differential per seed (rank kill + resume/rejoin)")
+	className := flag.String("class", "any", "restrict generation to one template class: const, vardist, range (any = natural mix)")
 	flag.Parse()
+
+	class, err := dpfuzz.ParseClass(*className)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpfuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *count == 0 && *duration == 0 {
 		fmt.Fprintln(os.Stderr, "dpfuzz: -count 0 requires -duration")
@@ -82,7 +90,7 @@ func main() {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				in := dpfuzz.Generate(seed)
+				in := dpfuzz.GenerateClass(seed, class)
 				checked, err := dpfuzz.CheckAll(in)
 				if checked {
 					ehrharts.Add(1)

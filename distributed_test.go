@@ -94,7 +94,7 @@ func runDistributedTCPOpts(tb testing.TB, p *problems.Problem, params []int64, n
 // the in-memory transport with the same node count, on every rank, and
 // match the serial reference exactly.
 func TestDistributedTCPEquivalence(t *testing.T) {
-	for _, name := range []string{"bandit2", "lcs2"} {
+	for _, name := range []string{"bandit2", "lcs2", "mcm", "obst", "knap"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

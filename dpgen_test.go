@@ -186,6 +186,35 @@ func TestLoadSpecHappyPath(t *testing.T) {
 	if _, err := Generate(sp2, GenOptions{}); err != nil {
 		t.Errorf("grid2 spec does not generate: %v", err)
 	}
+	// The extended-template specs: a range template (mcm) and a
+	// variable-distance range template (knap).
+	sp3, err := LoadSpec("specs/mcm.dps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp3.Deps) != 2 || !sp3.HasRangeDeps() {
+		t.Errorf("mcm spec wrong: %d deps, ranges=%v", len(sp3.Deps), sp3.HasRangeDeps())
+	}
+	if _, err := Generate(sp3, GenOptions{}); err != nil {
+		t.Errorf("mcm spec does not generate: %v", err)
+	}
+	sp4, err := LoadSpec("specs/knap.dps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(sp4, GenOptions{}); err != nil {
+		t.Errorf("knap spec does not generate: %v", err)
+	}
+	sp5, err := LoadSpec("specs/obst.dps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp5.Deps) != 2 || !sp5.HasRangeDeps() {
+		t.Errorf("obst spec wrong: %d deps, ranges=%v", len(sp5.Deps), sp5.HasRangeDeps())
+	}
+	if _, err := Generate(sp5, GenOptions{}); err != nil {
+		t.Errorf("obst spec does not generate: %v", err)
+	}
 }
 
 func TestStringersCovered(t *testing.T) {

@@ -51,6 +51,15 @@ func renderExpr(e lin.Expr, rn renamer) string {
 	return b.String()
 }
 
+// renderExprInt64 renders an affine expression so the result is typed
+// int64 even when it degenerates to a literal constant.
+func renderExprInt64(e lin.Expr, rn renamer) string {
+	if e.IsConst() {
+		return fmt.Sprintf("int64(%d)", e.K)
+	}
+	return renderExpr(e, rn)
+}
+
 // renderLower renders the max of a level's lower bounds.
 func renderLower(bounds []loopgen.Bound, rn renamer) string {
 	return renderBounds(bounds, rn, "dpCeilDiv", "dpMax")

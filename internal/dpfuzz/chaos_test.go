@@ -25,7 +25,7 @@ func TestChaosTCPBitIdentical(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
 			in := Generate(seed)
-			ref := serialSolve(in.Spec, in.N)
+			ref := serialSolve(in.Spec, in.pvals(in.N))
 			tl, err := in.tiling()
 			if err != nil {
 				t.Fatalf("seed %d: tiling.New: %v", seed, err)
@@ -43,7 +43,7 @@ func TestChaosTCPBitIdentical(t *testing.T) {
 					return time.Duration(rng.Intn(1500)) * time.Microsecond
 				}
 			}
-			results, err := runTCP(tl, kernel, []int64{in.N}, 2, 2, in.SendBufs, in.RecvBufs, chaos)
+			results, err := runTCP(tl, kernel, in.pvals(in.N), 2, 2, in.SendBufs, in.RecvBufs, chaos)
 			if err != nil {
 				t.Fatalf("seed %d: chaos tcp run: %v", seed, err)
 			}

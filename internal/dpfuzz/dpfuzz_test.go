@@ -63,11 +63,12 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 // TestGenerateDiverse: the sweep must actually cover the spec space —
-// every dimension count, both template sign directions, multi-dep
-// specs, and specs with extra constraints.
+// every dimension count, every template class, both template sign
+// directions, multi-dep specs, and specs with extra constraints.
 func TestGenerateDiverse(t *testing.T) {
 	dims := map[int]int{}
 	var extras, multiDep, negSign, posSign int
+	var vardist, ranges, varSteps, varCounts int
 	for seed := uint64(0); seed < 200; seed++ {
 		in := Generate(seed)
 		d := len(in.Spec.Vars)
@@ -78,13 +79,25 @@ func TestGenerateDiverse(t *testing.T) {
 		if len(in.Spec.Deps) > 1 {
 			multiDep++
 		}
-		for _, dep := range in.Spec.Deps {
+		if in.Spec.HasRangeDeps() {
+			ranges++
+		} else if in.Spec.HasExtendedDeps() {
+			vardist++
+		}
+		for j := range in.Spec.Deps {
+			dep := &in.Spec.Deps[j]
 			for _, r := range dep.Vec {
 				if r > 0 {
 					posSign++
 				} else if r < 0 {
 					negSign++
 				}
+			}
+			if dep.PDir != nil {
+				varSteps++
+			}
+			if dep.Len != nil && !dep.Len.IsConst() {
+				varCounts++
 			}
 		}
 	}
@@ -101,6 +114,39 @@ func TestGenerateDiverse(t *testing.T) {
 	}
 	if posSign == 0 || negSign == 0 {
 		t.Errorf("template signs not diverse: %d positive, %d negative components", posSign, negSign)
+	}
+	if vardist < 20 {
+		t.Errorf("only %d variable-distance specs in 200 seeds", vardist)
+	}
+	if ranges < 20 {
+		t.Errorf("only %d range-template specs in 200 seeds", ranges)
+	}
+	if varSteps == 0 {
+		t.Error("no range template with a parameter-affine step in 200 seeds")
+	}
+	if varCounts == 0 {
+		t.Error("no range template with a non-constant count in 200 seeds")
+	}
+}
+
+// TestGenerateClassForces: GenerateClass must honor the forced class
+// on every seed while matching Generate's draw on everything else the
+// class does not control.
+func TestGenerateClassForces(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		if in := GenerateClass(seed, ClassConst); in.Spec.HasExtendedDeps() {
+			t.Errorf("seed %d: forced const class produced extended deps", seed)
+		}
+		if in := GenerateClass(seed, ClassVarDist); !in.Spec.HasExtendedDeps() || in.Spec.HasRangeDeps() {
+			t.Errorf("seed %d: forced vardist class produced ranges=%v extended=%v",
+				seed, in.Spec.HasRangeDeps(), in.Spec.HasExtendedDeps())
+		}
+		if in := GenerateClass(seed, ClassRange); !in.Spec.HasRangeDeps() {
+			t.Errorf("seed %d: forced range class produced no range dep", seed)
+		}
+		if in := GenerateClass(seed, ClassAny); GoLiteral(in) != GoLiteral(Generate(seed)) {
+			t.Errorf("seed %d: GenerateClass(ClassAny) differs from Generate", seed)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpgen/internal/engine"
+	"dpgen/internal/lin"
 	"dpgen/internal/mpi/tcp"
 	"dpgen/internal/spec"
 	"dpgen/internal/tiling"
@@ -14,36 +15,52 @@ import (
 
 // cellValue is the deterministic kernel body shared by the independent
 // serial reference and the engine kernel: a mix of the coordinates and
-// the (valid) dependence values with contraction weights summing below
-// one, so values stay bounded along any dependence chain. Because both
-// sides call this one function, any fusion or evaluation-order freedom
-// the compiler has applies identically to both, and bit-identity of
-// the results is meaningful.
-func cellValue(x []int64, depVals []float64, depValid []bool) float64 {
+// the per-dependence footprint values. deps[j] holds the usable
+// footprint prefix of dependence j (a single value for a satisfied
+// point template, possibly several for a range template, empty when
+// the dependence is unsatisfied). Footprint values fold with
+// geometrically decaying weights so values stay bounded along any
+// dependence chain, and the fold order is the footprint order, so any
+// truncation or ordering bug shows up as a bit difference. Because
+// both sides call this one function, any fusion or evaluation-order
+// freedom the compiler has applies identically to both, and
+// bit-identity of the results is meaningful.
+func cellValue(x []int64, deps [][]float64) float64 {
 	v := 1.0
 	for k, xv := range x {
 		v += float64((int64(k+1)*31+xv*17)%23) * 0.0625
 	}
-	for j := range depVals {
-		if depValid[j] {
-			v += depVals[j] * (0.5 / float64(j+1))
-		} else {
+	for j, dv := range deps {
+		if len(dv) == 0 {
 			v -= float64(j+1) * 0.125
+			continue
+		}
+		w := 0.5 / float64(j+1)
+		for _, val := range dv {
+			v += val * w
+			w *= 0.5
 		}
 	}
 	return v
 }
 
-// fuzzKernel adapts cellValue to the engine's kernel contract.
+// fuzzKernel adapts cellValue to the engine's kernel contract: the
+// footprint of dependence j is the DepLen[j] cells starting at
+// DepLoc[j], spaced DepStride[j] apart (point dependences have length
+// 1/0 and stride 0, so this collapses to the classic DepValid read).
 func fuzzKernel(ndeps int) engine.Kernel {
 	return func(c *engine.Ctx) {
-		var vals [8]float64
+		var vbuf [64]float64
+		var deps [8][]float64
+		vals := vbuf[:0]
 		for j := 0; j < ndeps; j++ {
-			if c.DepValid[j] {
-				vals[j] = c.V[c.DepLoc[j]]
+			start := len(vals)
+			for t := int64(0); t < c.DepLen[j]; t++ {
+				vals = append(vals, c.V[c.DepLoc[j]+t*c.DepStride[j]])
 			}
+			deps[j] = vals[start:len(vals):len(vals)]
 		}
-		c.V[c.Loc] = cellValue(c.X, vals[:ndeps], c.DepValid)
+		c.V[c.Loc] = cellValue(c.X, deps[:ndeps])
 	}
 }
 
@@ -57,27 +74,37 @@ type serialResult struct {
 
 // serialSolve computes the instance with a plain recursive sweep over
 // the bounding box: per-dimension directions are derived directly from
-// the template signs (dependencies with positive components point to
-// larger coordinates, which must therefore be computed first), with no
-// tiling, no FM, and no runtime involved.
-func serialSolve(sp *spec.Spec, N int64) *serialResult {
+// the template signs at the run's parameter values (dependencies with
+// positive components point to larger coordinates, which must
+// therefore be computed first), with no tiling, no FM, and no runtime
+// involved. Range templates are resolved exactly as the spec defines
+// them: walk the footprint t = 0, 1, ... up to the declared count and
+// stop at the first cell outside the space.
+func serialSolve(sp *spec.Spec, params []int64) *serialResult {
 	sys := sp.System()
 	d := len(sp.Vars)
+	np := len(sp.Params)
+	N := params[0]
 	desc := make([]bool, d)
-	for _, dep := range sp.Deps {
-		for k, r := range dep.Vec {
-			if r > 0 {
+	bases := make([][]int64, len(sp.Deps))
+	dirs := make([][]int64, len(sp.Deps))
+	lens := make([]lin.Expr, len(sp.Deps))
+	for j := range sp.Deps {
+		bases[j] = sp.BaseAt(j, params)
+		dirs[j] = sp.DirAt(j, params)
+		lens[j] = sp.LenExpr(j)
+		for k := 0; k < d; k++ {
+			if bases[j][k] > 0 || dirs[j][k] > 0 {
 				desc[k] = true
 			}
 		}
 	}
 	res := &serialResult{cells: map[string]float64{}}
-	vals := make([]int64, 1+d)
-	vals[0] = N
-	x := vals[1:]
+	vals := make([]int64, np+d)
+	copy(vals, params)
+	x := vals[np:]
 	y := make([]int64, d)
-	depVals := make([]float64, len(sp.Deps))
-	depValid := make([]bool, len(sp.Deps))
+	deps := make([][]float64, len(sp.Deps))
 	first := true
 	var rec func(k int)
 	rec = func(k int) {
@@ -85,17 +112,24 @@ func serialSolve(sp *spec.Spec, N int64) *serialResult {
 			if !sys.Contains(vals) {
 				return
 			}
-			for j, dep := range sp.Deps {
-				for kk := range y {
-					y[kk] = x[kk] + dep.Vec[kk]
+			for j := range sp.Deps {
+				deps[j] = deps[j][:0]
+				n := int64(1)
+				if sp.Deps[j].IsRange() {
+					n = lens[j].Eval(vals)
 				}
-				if v, ok := res.cells[pointKey(y)]; ok {
-					depVals[j], depValid[j] = v, true
-				} else {
-					depVals[j], depValid[j] = 0, false
+				for t := int64(0); t < n; t++ {
+					for kk := range y {
+						y[kk] = x[kk] + bases[j][kk] + t*dirs[j][kk]
+					}
+					v, ok := res.cells[pointKey(y)]
+					if !ok {
+						break
+					}
+					deps[j] = append(deps[j], v)
 				}
 			}
-			v := cellValue(x, depVals, depValid)
+			v := cellValue(x, deps)
 			res.cells[pointKey(x)] = v
 			res.n++
 			if first || v > res.max {
@@ -130,8 +164,8 @@ func serialSolve(sp *spec.Spec, N int64) *serialResult {
 // localhost TCP sockets must all produce bit-identical values.
 func CheckEngine(in *Instance) error {
 	sp := in.Spec
-	params := []int64{in.N}
-	ref := serialSolve(sp, in.N)
+	params := in.pvals(in.N)
+	ref := serialSolve(sp, params)
 	kernel := fuzzKernel(len(sp.Deps))
 
 	tl, err := in.tiling()

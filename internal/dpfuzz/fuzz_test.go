@@ -20,6 +20,12 @@ func FuzzSpec(f *testing.F) {
 	// A couple of large seeds so the corpus is not just small integers.
 	f.Add(uint64(0x9e3779b97f4a7c15))
 	f.Add(uint64(0xdeadbeefcafe))
+	// Class-representative seeds: 23 draws a variable-distance spec, 18
+	// and 27 draw range templates (with a parameter-affine step and a
+	// shrinking count between them).
+	f.Add(uint64(18))
+	f.Add(uint64(23))
+	f.Add(uint64(27))
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		in := Generate(seed)
 		if _, err := CheckAll(in); err != nil {

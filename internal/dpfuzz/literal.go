@@ -17,7 +17,11 @@ func GoLiteral(in *Instance) string {
 	sp := in.Spec
 	var b strings.Builder
 	fmt.Fprintf(&b, "in := &dpfuzz.Instance{\n")
-	fmt.Fprintf(&b, "\tSeed: %#x, N: %d,\n", in.Seed, in.N)
+	if in.D != 0 {
+		fmt.Fprintf(&b, "\tSeed: %#x, N: %d, D: %d,\n", in.Seed, in.N, in.D)
+	} else {
+		fmt.Fprintf(&b, "\tSeed: %#x, N: %d,\n", in.Seed, in.N)
+	}
 	fmt.Fprintf(&b, "\tNodes: %d, Threads: %d, SendBufs: %d, RecvBufs: %d, QueueGroups: %d,\n",
 		in.Nodes, in.Threads, in.SendBufs, in.RecvBufs, in.QueueGroups)
 	fmt.Fprintf(&b, "\tPriority: %s, Sched: %s, Balance: %s, PollingRecv: %v,\n",
@@ -27,8 +31,18 @@ func GoLiteral(in *Instance) string {
 	for _, q := range sp.Constraints {
 		fmt.Fprintf(&b, "sp.MustConstrain(%q)\n", q.String())
 	}
-	for _, dep := range sp.Deps {
-		fmt.Fprintf(&b, "sp.AddDep(%q%s)\n", dep.Name, int64sArgs(dep.Vec))
+	for _, pb := range sp.ParamBounds {
+		fmt.Fprintf(&b, "sp.Bound(%q, %d, %d)\n", pb.Name, pb.Lo, pb.Hi)
+	}
+	for j := range sp.Deps {
+		if !sp.Deps[j].Extended() {
+			fmt.Fprintf(&b, "sp.AddDep(%q%s)\n", sp.Deps[j].Name, int64sArgs(sp.Deps[j].Vec))
+			continue
+		}
+		// Extended templates round-trip through the input syntax, the
+		// same canonical form Parse and dpserve use.
+		name, base, dir, count := sp.FormatDep(j)
+		fmt.Fprintf(&b, "sp.MustAddDepSpec(%q, %q, %q, %q)\n", name, base, dir, count)
 	}
 	if len(sp.LoopOrder) > 0 {
 		fmt.Fprintf(&b, "sp.LoopOrder = %s\n", stringsLit(sp.LoopOrder))
@@ -124,8 +138,19 @@ func clone(in *Instance) *Instance {
 			panic(err)
 		}
 	}
-	for _, dep := range in.Spec.Deps {
-		sp.AddDep(dep.Name, append([]int64(nil), dep.Vec...)...)
+	for _, pb := range in.Spec.ParamBounds {
+		sp.Bound(pb.Name, pb.Lo, pb.Hi)
+	}
+	for j := range in.Spec.Deps {
+		if !in.Spec.Deps[j].Extended() {
+			dep := in.Spec.Deps[j]
+			sp.AddDep(dep.Name, append([]int64(nil), dep.Vec...)...)
+			continue
+		}
+		// Extended templates round-trip through the canonical input
+		// syntax, like GoLiteral renders them.
+		name, base, dir, count := in.Spec.FormatDep(j)
+		sp.MustAddDepSpec(name, base, dir, count)
 	}
 	sp.LoopOrder = append([]string(nil), in.Spec.LoopOrder...)
 	sp.LBDims = append([]string(nil), in.Spec.LBDims...)

@@ -46,11 +46,25 @@ func candidates(in *Instance) []*Instance {
 			out = append(out, c)
 		}
 	}
-	// Shrink a dependence component toward zero.
+	// Shrink a dependence component toward zero. Range templates keep a
+	// nonzero base unless a parameter part remains: a zero base would
+	// put the cell itself at footprint step 0, a different shape than
+	// the one being minimized.
 	for j, dep := range sp.Deps {
 		for k, r := range dep.Vec {
 			if r == 0 {
 				continue
+			}
+			if dep.IsRange() && dep.PVec == nil {
+				nonzero := 0
+				for _, v := range dep.Vec {
+					if v != 0 {
+						nonzero++
+					}
+				}
+				if nonzero == 1 && (r == 1 || r == -1) {
+					continue
+				}
 			}
 			c := clone(in)
 			step := int64(1)
@@ -60,6 +74,39 @@ func candidates(in *Instance) []*Instance {
 			c.Spec.Deps[j].Vec[k] = r - step
 			out = append(out, c)
 		}
+	}
+	// Simplify an extended template: drop its parameter parts, turn a
+	// range into its base point dependence, or shorten its count.
+	for j := range sp.Deps {
+		dep := &sp.Deps[j]
+		if dep.PVec != nil {
+			c := clone(in)
+			c.Spec.Deps[j].PVec = nil
+			out = append(out, c)
+		}
+		if dep.PDir != nil {
+			c := clone(in)
+			c.Spec.Deps[j].PDir = nil
+			out = append(out, c)
+		}
+		if dep.IsRange() {
+			c := clone(in)
+			c.Spec.Deps[j].Dir = nil
+			c.Spec.Deps[j].PDir = nil
+			c.Spec.Deps[j].Len = nil
+			out = append(out, c)
+		}
+		if dep.Len != nil && dep.Len.K > 1 {
+			c := clone(in)
+			c.Spec.Deps[j].Len.K--
+			out = append(out, c)
+		}
+	}
+	// Calm the bounded template parameter.
+	if in.D > 1 {
+		c := clone(in)
+		c.D = 1
+		out = append(out, c)
 	}
 	// Shrink a tile width.
 	for k, w := range sp.TileWidths {

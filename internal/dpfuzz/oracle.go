@@ -32,27 +32,29 @@ func CheckAll(in *Instance) (ehrhartChecked bool, err error) {
 // pointKey is the map key of an integer point.
 func pointKey(x []int64) string { return fmt.Sprint(x) }
 
-// brutePoints enumerates the iteration space at parameter value N by
-// scanning the bounding box [0,N]^d and testing every lattice point
-// against the raw constraint system — no FM, no loopgen. The box is
-// complete because the generator's base constraints 0 <= v_k <= N are
-// part of every spec.
-func brutePoints(sp *spec.Spec, N int64) [][]int64 {
+// brutePoints enumerates the iteration space at the given parameter
+// vector (params[0] is N) by scanning the bounding box [0,N]^d and
+// testing every lattice point against the raw constraint system — no
+// FM, no loopgen. The box is complete because the generator's base
+// constraints 0 <= v_k <= N are part of every spec.
+func brutePoints(sp *spec.Spec, params []int64) [][]int64 {
 	sys := sp.System()
 	d := len(sp.Vars)
-	vals := make([]int64, 1+d)
-	vals[0] = N
+	np := len(sp.Params)
+	N := params[0]
+	vals := make([]int64, np+d)
+	copy(vals, params)
 	var out [][]int64
 	var rec func(k int)
 	rec = func(k int) {
 		if k == d {
 			if sys.Contains(vals) {
-				out = append(out, append([]int64(nil), vals[1:]...))
+				out = append(out, append([]int64(nil), vals[np:]...))
 			}
 			return
 		}
 		for v := int64(0); v <= N; v++ {
-			vals[1+k] = v
+			vals[np+k] = v
 			rec(k + 1)
 		}
 	}
@@ -71,18 +73,20 @@ func CheckNest(in *Instance) error {
 		return fmt.Errorf("loopgen.Build: %w", err)
 	}
 	sys := sp.System()
+	np := len(sp.Params)
 	orderIdx := make([]int, len(sp.Order()))
 	for i, name := range sp.Order() {
 		orderIdx[i] = sp.VarIndex(name)
 	}
 	for N := int64(0); N <= countMaxN; N++ {
-		brute := brutePoints(sp, N)
+		params := in.pvals(N)
+		brute := brutePoints(sp, params)
 		seen := make(map[string]bool, len(brute))
 		var prev []int64
 		visited := int64(0)
 		bad := ""
-		nest.Enumerate([]int64{N}, func(vals []int64) bool {
-			x := vals[1:]
+		nest.Enumerate(params, func(vals []int64) bool {
+			x := vals[np:]
 			visited++
 			if !sys.Contains(vals) {
 				bad = fmt.Sprintf("N=%d: nest visits %v outside the system", N, x)
@@ -112,7 +116,7 @@ func CheckNest(in *Instance) error {
 				return fmt.Errorf("N=%d: nest misses in-space point %v", N, x)
 			}
 		}
-		if c := nest.Count([]int64{N}); c != visited {
+		if c := nest.Count(params); c != visited {
 			return fmt.Errorf("N=%d: Nest.Count %d != enumerated %d", N, c, visited)
 		}
 	}
@@ -146,9 +150,12 @@ const ehrhartCostCap = 2_000_000
 // succeed and any failure is a bug).
 func CheckEhrhart(in *Instance) (checked bool, err error) {
 	sp := in.Spec
-	nest, err := in.iterNest()
+	nest, ok, err := in.countNest()
 	if err != nil {
 		return false, fmt.Errorf("loopgen.Build: %w", err)
+	}
+	if !ok {
+		return false, nil
 	}
 	d := len(sp.Vars)
 	extras := len(sp.Constraints) > 2*d
@@ -180,7 +187,7 @@ func CheckEhrhart(in *Instance) (checked bool, err error) {
 			return false, nil
 		}
 		for N := minN; N <= minN+window; N++ {
-			want := int64(len(brutePoints(sp, N)))
+			want := int64(len(brutePoints(sp, in.pvals(N))))
 			if got := q.Eval(N); got != want {
 				return true, fmt.Errorf("quasi-polynomial %v evaluates to %d at N=%d, brute force counts %d", q, got, N, want)
 			}
@@ -243,21 +250,36 @@ func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
 	sp := in.Spec
 	sys := sp.System()
 	d := len(sp.Vars)
-	params := []int64{N}
+	np := len(sp.Params)
+	params := in.pvals(N)
 
 	// The template dependence memory offsets are the strides applied to
-	// the template vector (the mapping functions of IV-H).
-	for j, dep := range sp.Deps {
-		want := int64(0)
-		for k, r := range dep.Vec {
-			want += r * tl.Strides[k]
+	// the template's base and step vectors evaluated at the run's
+	// parameters (the mapping functions of IV-H).
+	locOff := tl.DepLocOffAt(params)
+	strideOff := tl.DepStrideAt(params)
+	bases := make([][]int64, len(sp.Deps))
+	dirs := make([][]int64, len(sp.Deps))
+	for j := range sp.Deps {
+		bases[j] = sp.BaseAt(j, params)
+		dirs[j] = sp.DirAt(j, params)
+		wantLoc, wantStride := int64(0), int64(0)
+		for k := 0; k < d; k++ {
+			wantLoc += bases[j][k] * tl.Strides[k]
+			wantStride += dirs[j][k] * tl.Strides[k]
 		}
-		if tl.DepLocOff[j] != want {
-			return fmt.Errorf("DepLocOff[%d] = %d, strides give %d", j, tl.DepLocOff[j], want)
+		if locOff[j] != wantLoc {
+			return fmt.Errorf("DepLocOffAt[%d] = %d, strides give %d", j, locOff[j], wantLoc)
+		}
+		if strideOff[j] != wantStride {
+			return fmt.Errorf("DepStrideAt[%d] = %d, strides give %d", j, strideOff[j], wantStride)
+		}
+		if !sp.Deps[j].Extended() && tl.DepLocOff[j] != wantLoc {
+			return fmt.Errorf("DepLocOff[%d] = %d, strides give %d", j, tl.DepLocOff[j], wantLoc)
 		}
 	}
 
-	brute := brutePoints(sp, N)
+	brute := brutePoints(sp, params)
 	bruteSet := make(map[string]bool, len(brute))
 	for _, x := range brute {
 		bruteSet[pointKey(x)] = true
@@ -288,7 +310,7 @@ func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
 		var bad error
 		tl.ForEachEdgeCell(params, t, dep, func(i []int64) bool {
 			y := tl.GlobalOf(t, i)
-			if !sys.Contains(append([]int64{N}, y...)) {
+			if !sys.Contains(append(append([]int64(nil), params...), y...)) {
 				bad = fmt.Errorf("pack slab of tile %v dep %d includes out-of-space cell %v", t, dep, y)
 				return false
 			}
@@ -305,8 +327,8 @@ func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
 		return s, nil
 	}
 
-	svals := make([]int64, 1+d)
-	svals[0] = N
+	svals := make([]int64, np+d)
+	copy(svals, params)
 	y := make([]int64, d)
 	cellTotal := int64(0)
 	seen := make(map[string]bool, len(brute))
@@ -316,7 +338,7 @@ func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
 		tl.ForEachCell(params, t, func(i []int64) bool {
 			count++
 			x := tl.GlobalOf(t, i)
-			copy(svals[1:], x)
+			copy(svals[np:], x)
 			if !sys.Contains(svals) {
 				bad = fmt.Errorf("tile %v cell %v: global %v outside the space", t, i, x)
 				return false
@@ -332,53 +354,80 @@ func checkPackUnpackAt(in *Instance, tl *tiling.Tiling, N int64) error {
 			}
 			seen[pk] = true
 
-			for j, dep := range sp.Deps {
-				for k := range y {
-					y[k] = x[k] + dep.Vec[k]
+			for j := range sp.Deps {
+				dep := &sp.Deps[j]
+				// The brute usable footprint prefix, straight from the
+				// dependence definition: walk t = 0, 1, ... up to the
+				// declared count, stopping at the first cell outside.
+				var n int64
+				if !dep.IsRange() {
+					for k := range y {
+						y[k] = x[k] + bases[j][k]
+					}
+					inSpace := bruteSet[pointKey(y)]
+					if inSpace {
+						n = 1
+					}
+					if got := tl.DepValid(j, svals); got != inSpace {
+						bad = fmt.Errorf("cell %v dep %s: DepValid %v but x+r in space is %v", x, dep.Name, got, inSpace)
+						return false
+					}
+				} else {
+					sem := tl.LenExprs[j].Eval(svals)
+					for n < sem {
+						for k := range y {
+							y[k] = x[k] + bases[j][k] + n*dirs[j][k]
+						}
+						if !bruteSet[pointKey(y)] {
+							break
+						}
+						n++
+					}
+					if got := tl.DepLenAt(j, svals); got != n {
+						bad = fmt.Errorf("cell %v dep %s: DepLenAt %d but brute footprint prefix is %d", x, dep.Name, got, n)
+						return false
+					}
 				}
-				inSpace := bruteSet[pointKey(y)]
-				if got := tl.DepValid(j, svals); got != inSpace {
-					bad = fmt.Errorf("cell %v dep %s: DepValid %v but x+r in space is %v", x, dep.Name, got, inSpace)
-					return false
-				}
-				if !inSpace {
-					continue
-				}
-				ty, ly := tl.TileOf(y)
-				if pointKey(ty) == pointKey(t) {
-					continue
-				}
-				jd := -1
-				for cand, td := range tl.TileDeps {
-					match := true
-					for k := range ty {
-						if ty[k]-t[k] != td.Offset[k] {
-							match = false
+				for ft := int64(0); ft < n; ft++ {
+					for k := range y {
+						y[k] = x[k] + bases[j][k] + ft*dirs[j][k]
+					}
+					ty, ly := tl.TileOf(y)
+					if pointKey(ty) == pointKey(t) {
+						continue
+					}
+					jd := -1
+					for cand, td := range tl.TileDeps {
+						match := true
+						for k := range ty {
+							if ty[k]-t[k] != td.Offset[k] {
+								match = false
+								break
+							}
+						}
+						if match {
+							jd = cand
 							break
 						}
 					}
-					if match {
-						jd = cand
-						break
+					if jd < 0 {
+						bad = fmt.Errorf("cell %v dep %s step %d: producer tile %v has no registered tile-dependence offset from %v", x, dep.Name, ft, ty, t)
+						return false
 					}
-				}
-				if jd < 0 {
-					bad = fmt.Errorf("cell %v dep %s: producer tile %v has no registered tile-dependence offset from %v", x, dep.Name, ty, t)
-					return false
-				}
-				slab, serr := edgeSet(ty, jd)
-				if serr != nil {
-					bad = serr
-					return false
-				}
-				if !slab[pointKey(ly)] {
-					bad = fmt.Errorf("cell %v dep %s: producer cell %v (local %v of tile %v) not in pack slab %d", x, dep.Name, y, ly, ty, jd)
-					return false
-				}
-				consLoc := tl.Loc(i) + tl.DepLocOff[j]
-				if got := tl.UnpackLoc(jd, ly); got != consLoc {
-					bad = fmt.Errorf("cell %v dep %s: UnpackLoc %d != consumer DepLoc %d", x, dep.Name, got, consLoc)
-					return false
+					slab, serr := edgeSet(ty, jd)
+					if serr != nil {
+						bad = serr
+						return false
+					}
+					if !slab[pointKey(ly)] {
+						bad = fmt.Errorf("cell %v dep %s step %d: producer cell %v (local %v of tile %v) not in pack slab %d", x, dep.Name, ft, y, ly, ty, jd)
+						return false
+					}
+					consLoc := tl.Loc(i) + locOff[j] + ft*strideOff[j]
+					if got := tl.UnpackLoc(jd, ly); got != consLoc {
+						bad = fmt.Errorf("cell %v dep %s step %d: UnpackLoc %d != consumer DepLoc %d", x, dep.Name, ft, got, consLoc)
+						return false
+					}
 				}
 			}
 			return true

@@ -246,6 +246,77 @@ var regressionCases = []struct {
 		},
 	},
 	{
+		// Variable-distance offsets crossing multiple tiles: with D = 2
+		// and a width-1 dimension, the -D offset jumps two whole tiles,
+		// so the crossing enumeration, ghost shells, and pack slabs all
+		// come from the parameter hull rather than the constant vector.
+		name: "vardist-multi-tile-crossing",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0008, N: 12, D: 2,
+				Nodes: 2, Threads: 2, SendBufs: 2, RecvBufs: 2, QueueGroups: 1,
+				Priority: engine.ColumnMajor, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_vardist", []string{"N", "D"}, []string{"v0", "v1"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.Bound("D", 1, 2)
+			sp.MustAddDepSpec("r1", "-D, 0", "", "")
+			sp.MustAddDepSpec("r2", "-1, -D", "", "")
+			sp.TileWidths = []int64{1, 2}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// Range template on a 1-D chain with width-1 tiles and a count
+		// that is the bounded parameter itself: every cell reads a
+		// three-cell interval spanning three whole tiles, the deepest
+		// multi-tile footprint the generator's width rule allows.
+		name: "range-chain-param-count",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de0009, N: 24, D: 2,
+				Nodes: 2, Threads: 2, SendBufs: 1, RecvBufs: 2, QueueGroups: 1,
+				Priority: engine.FIFO, Balance: balance.Prefix,
+			}
+			sp := spec.MustNew("regress_rangechain", []string{"N", "D"}, []string{"v0"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.Bound("D", 1, 2)
+			sp.MustAddDepSpec("r1", "1", "1", "D + 1")
+			sp.TileWidths = []int64{1}
+			sp.LBDims = []string{"v0"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
+		// The knapsack shape: a range template whose step distance is
+		// the bounded parameter and whose count shrinks along a loop
+		// variable, mixed with a plain point template. Exercises the
+		// variable step-stride in pack/unpack and the per-cell length
+		// clamp hitting zero (base-case cells) away from the boundary.
+		name: "range-varstep-shrinking-count",
+		build: func() *Instance {
+			in := &Instance{
+				Seed: 0xc0de000a, N: 11, D: 2,
+				Nodes: 3, Threads: 2, SendBufs: 2, RecvBufs: 2, QueueGroups: 2,
+				Priority: engine.LevelSet, Balance: balance.Hyperplane,
+			}
+			sp := spec.MustNew("regress_varstep", []string{"N", "D"}, []string{"v0", "v1"})
+			sp.MustConstrain("0 <= v0 <= N")
+			sp.MustConstrain("0 <= v1 <= N")
+			sp.Bound("D", 1, 2)
+			sp.MustAddDepSpec("take", "1, 0", "0, D", "3 - v0")
+			sp.MustAddDepSpec("r2", "0, 1", "", "")
+			sp.TileWidths = []int64{2, 2}
+			sp.LBDims = []string{"v1"}
+			in.Spec = sp
+			return in
+		},
+	},
+	{
 		// All-boundary shape for the hybrid scheduler: a 1-D chain of
 		// six tiles spread over six nodes, so every non-initial tile's
 		// single producer lives on another rank and the static wavefront

@@ -251,6 +251,14 @@ type engine struct {
 	assign *balance.Assignment
 	comm   *mpi.Comm
 
+	// Per-run dependence geometry: the template base offsets and range
+	// steps evaluated at this run's parameter values (variable-distance
+	// templates make them parameter-dependent), plus the interior-tile
+	// evaluation plan for range lengths.
+	depLocOff []int64
+	depStride []int64
+	rangeLens []rangeLen
+
 	keyDims   []int // priority key dimension order (var indexes)
 	goalTile  []int64
 	goalLocal []int64
@@ -293,6 +301,9 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 	if len(params) != len(tl.Spec.Params) {
 		return nil, fmt.Errorf("engine: got %d params, spec has %d", len(params), len(tl.Spec.Params))
 	}
+	if err := tl.Spec.CheckParams(params); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	goal := tl.Spec.GoalPoint()
 	goalVals := append(append([]int64{}, params...), goal...)
 	if !tl.Spec.System().Contains(goalVals) {
@@ -302,9 +313,9 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 	if cfg.Checkpoint.Resume && !ft {
 		return nil, fmt.Errorf("engine: Checkpoint.Resume requires Checkpoint.Dir")
 	}
-	if ft && len(tl.Spec.Deps) > 64 {
-		return nil, fmt.Errorf("engine: fault tolerance supports at most 64 template dependences, spec has %d",
-			len(tl.Spec.Deps))
+	if ft && len(tl.TileDeps) > 64 {
+		return nil, fmt.Errorf("engine: fault tolerance supports at most 64 tile dependences, spec has %d",
+			len(tl.TileDeps))
 	}
 	if cfg.CrashAfterTiles > 0 && cfg.CrashFn == nil {
 		return nil, fmt.Errorf("engine: CrashAfterTiles requires CrashFn")
@@ -342,6 +353,9 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 		comm:   comm,
 	}
 	e.goalTile, e.goalLocal = tl.GoalTile()
+	e.depLocOff = tl.DepLocOffAt(params)
+	e.depStride = tl.DepStrideAt(params)
+	e.buildRangeLens()
 	e.buildKeyDims()
 	if err := e.buildIntKeys(); err != nil {
 		return nil, err
@@ -1002,6 +1016,56 @@ func (n *node) deliver(consumer []int64, dep int, data []float64, remote bool, l
 	}
 }
 
+// rangeLen is the interior-tile evaluation plan for one range
+// dependence's length form: base folds the parameter part at the run's
+// values and coef holds the loop-variable coefficients, so the per-cell
+// length is base + coef.x clamped at zero. Interior tiles never clamp
+// against the space boundary — the whole footprint shell is inside —
+// so the semantic length is the usable length.
+type rangeLen struct {
+	j    int
+	base int64
+	coef []int64
+}
+
+func (e *engine) buildRangeLens() {
+	sp := e.tl.Spec
+	if !sp.HasRangeDeps() {
+		return
+	}
+	vals := make([]int64, sp.Space().N())
+	copy(vals, e.params)
+	for j := range sp.Deps {
+		if !sp.Deps[j].IsRange() {
+			continue
+		}
+		le := e.tl.LenExprs[j]
+		rl := rangeLen{j: j, base: le.Eval(vals), coef: make([]int64, len(sp.Vars))}
+		for k, v := range sp.Vars {
+			rl.coef[k] = le.Coeff(v)
+		}
+		e.rangeLens = append(e.rangeLens, rl)
+	}
+}
+
+// setRangeLens fills the per-cell range lengths (and the matching
+// validity flags) for one interior cell at original coordinates x.
+func setRangeLens(ctx *Ctx, rls []rangeLen, x []int64) {
+	for _, rl := range rls {
+		v := rl.base
+		for k, c := range rl.coef {
+			if c != 0 {
+				v += c * x[k]
+			}
+		}
+		if v < 0 {
+			v = 0
+		}
+		ctx.DepLen[rl.j] = v
+		ctx.DepValid[rl.j] = v > 0
+	}
+}
+
 // workerState is per-worker scratch: the tile buffer with its ghost
 // shell, the kernel context, and the reusable polytope probe.
 type workerState struct {
@@ -1034,8 +1098,12 @@ func newWorkerState(e *engine) *workerState {
 		V:        w.buf,
 		DepLoc:   make([]int64, len(e.tl.Spec.Deps)),
 		DepValid: make([]bool, len(e.tl.Spec.Deps)),
-		X:        w.x,
-		P:        e.params,
+		DepLen:   make([]int64, len(e.tl.Spec.Deps)),
+		// The range steps are constant within a run, so every worker
+		// shares the engine's read-only slice.
+		DepStride: e.depStride,
+		X:         w.x,
+		P:         e.params,
 	}
 	return w
 }
@@ -1148,8 +1216,10 @@ func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 			w.ctx.Loc = loc
 			w.ctx.I = i
 			for j := 0; j < nd; j++ {
-				w.ctx.DepLoc[j] = loc + tl.DepLocOff[j]
-				w.ctx.DepValid[j] = tl.DepValid(j, w.specVals)
+				w.ctx.DepLoc[j] = loc + e.depLocOff[j]
+				ln := tl.DepLenAt(j, w.specVals)
+				w.ctx.DepLen[j] = ln
+				w.ctx.DepValid[j] = ln > 0
 			}
 			e.kernel(&w.ctx)
 			if v := w.buf[loc]; v > tileMax {
@@ -1317,8 +1387,10 @@ func (n *node) execInterior(p *pendTile, w *workerState) (cells int64, tileMax f
 	ctx.I = w.i
 	for j := range ctx.DepValid {
 		ctx.DepValid[j] = true
+		ctx.DepLen[j] = 1
 	}
-	depOff := tl.DepLocOff
+	rls := e.rangeLens
+	depOff := e.depLocOff
 	nd := len(depOff)
 	kernel := e.kernel
 	onCell := e.cfg.OnCell
@@ -1355,6 +1427,9 @@ func (n *node) execInterior(p *pendTile, w *workerState) (cells int64, tileMax f
 				for j := 0; j < nd; j++ {
 					ctx.DepLoc[j] = loc + depOff[j]
 				}
+				if len(rls) != 0 {
+					setRangeLens(ctx, rls, w.x)
+				}
 				kernel(ctx)
 				if v := buf[loc]; v > tileMax {
 					tileMax = v
@@ -1372,6 +1447,9 @@ func (n *node) execInterior(p *pendTile, w *workerState) (cells int64, tileMax f
 				ctx.Loc = loc
 				for j := 0; j < nd; j++ {
 					ctx.DepLoc[j] = loc + depOff[j]
+				}
+				if len(rls) != 0 {
+					setRangeLens(ctx, rls, w.x)
 				}
 				kernel(ctx)
 				if v := buf[loc]; v > tileMax {

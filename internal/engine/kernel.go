@@ -18,6 +18,19 @@ type Ctx struct {
 	// V[DepLoc[j]] with DepValid[j] == false yields garbage, exactly as
 	// in the generated C code; the kernel must branch on it.
 	DepValid []bool
+	// DepStride[j] is the buffer step between consecutive footprint
+	// cells of a range dependence (the stride_rj symbol): cell t of the
+	// interval lives at DepLoc[j] + t*DepStride[j]. Zero for point
+	// dependences. Constant within a run.
+	DepStride []int64
+	// DepLen[j] is the usable footprint length of dependence j at the
+	// current location (the len_rj symbol): the declared count clamped
+	// to the longest prefix of footprint cells inside the iteration
+	// space, never negative. Point dependences get 1 when valid and 0
+	// otherwise, so DepValid[j] == (DepLen[j] > 0) always; range
+	// kernels loop t in [0, DepLen[j]) instead of branching on
+	// DepValid.
+	DepLen []int64
 	// X holds the original loop variable values (Vars order).
 	X []int64
 	// I holds the tile-local indices (Vars order).

@@ -3,7 +3,9 @@
 // 2-arm bandit with delayed observations (Section VI), and the sequence
 // problems its introduction motivates — pairwise edit distance, multiple
 // sequence alignment of three sequences, and the longest common
-// subsequence of three strings.
+// subsequence of three strings — plus the nonserial/variable-distance
+// template exercisers: matrix-chain multiplication, optimal binary
+// search trees, and the bounded knapsack with parametric weights.
 //
 // Each problem bundles the generator spec, the runtime kernel, and an
 // independent straightforward serial solver used as the correctness
@@ -55,12 +57,16 @@ func Registry() map[string]*Problem {
 		"msa3":         MSA3Seeded(3),
 		"msa4":         MSA4Seeded(4),
 		"localalign":   SmithWatermanSeeded(6),
+		"mcm":          MCM(),
+		"obst":         OBST(),
+		"knap":         Knapsack(),
 	}
 }
 
 // Names lists the registry keys in a stable order.
 func Names() []string {
-	return []string{"bandit2", "bandit3", "bandit2delay", "editdist", "lcs2", "lcs3", "msa3", "msa4", "localalign"}
+	return []string{"bandit2", "bandit3", "bandit2delay", "editdist", "lcs2", "lcs3", "msa3", "msa4", "localalign",
+		"mcm", "obst", "knap"}
 }
 
 // Get returns a registry problem or an error.

@@ -324,3 +324,69 @@ func TestMSA4AtLeastMSA3(t *testing.T) {
 		t.Errorf("MSA4 cost %v below pairwise bound %v", got, lower)
 	}
 }
+
+func TestMCMMatchesSerial(t *testing.T) {
+	p := MCM()
+	for _, N := range []int64{1, 2, 3, 9, 20, 24} {
+		runBoth(t, p, []int64{N}, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestMCMKnown(t *testing.T) {
+	// Two matrices: one multiplication, p0*p1*p2 scalar products.
+	p := MCM()
+	want := mcmDim(0) * mcmDim(1) * mcmDim(2)
+	if got := p.Serial([]int64{2}); got != want {
+		t.Errorf("mcm N=2 = %v, want %v", got, want)
+	}
+	// One matrix: no multiplication.
+	if got := p.Serial([]int64{1}); got != 0 {
+		t.Errorf("mcm N=1 = %v, want 0", got)
+	}
+}
+
+func TestOBSTMatchesSerial(t *testing.T) {
+	p := OBST()
+	for _, N := range []int64{1, 2, 5, 13, 18, 24} {
+		runBoth(t, p, []int64{N}, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestOBSTKnown(t *testing.T) {
+	p := OBST()
+	// Single key: its own frequency at depth 1.
+	if got, want := p.Serial([]int64{1}), obstFreq(0); got != want {
+		t.Errorf("obst N=1 = %v, want %v", got, want)
+	}
+	// Two keys: the heavier key is the root.
+	f0, f1 := obstFreq(0), obstFreq(1)
+	want := f0 + f1 + f0 // root = key 1 (f1 > f0 for this workload)
+	if f0 > f1 {
+		want = f0 + f1 + f1
+	}
+	if got := p.Serial([]int64{2}); got != want {
+		t.Errorf("obst N=2 = %v, want %v", got, want)
+	}
+}
+
+func TestKnapsackMatchesSerial(t *testing.T) {
+	p := Knapsack()
+	for _, ps := range [][]int64{
+		{10, 30, 3}, {10, 30, 1}, {5, 12, 4}, {1, 0, 2}, {7, 29, 2}, {12, 50, 4},
+	} {
+		runBoth(t, p, ps, engine.Config{Nodes: 2, Threads: 2})
+	}
+}
+
+func TestKnapsackRejectsOutOfBoundParams(t *testing.T) {
+	// The step distance W carries a declared bound; the runtime's ghost
+	// shells only cover the declared hull, so W=5 must be rejected.
+	p := Knapsack()
+	tl, err := tiling.New(p.Spec)
+	if err != nil {
+		t.Fatalf("tiling: %v", err)
+	}
+	if _, err := engine.Run(tl, p.Kernel, []int64{10, 30, 5}, engine.Config{Nodes: 1, Threads: 1}); err == nil {
+		t.Fatal("engine accepted W=5 outside the declared bound [1, 4]")
+	}
+}

@@ -49,12 +49,24 @@ func Canonicalize(sp *spec.Spec) string {
 	for _, c := range cons {
 		fmt.Fprintf(&b, "constraint %s\n", c)
 	}
-	for _, d := range sp.Deps {
-		comps := make([]string, len(d.Vec))
-		for i, v := range d.Vec {
-			comps[i] = fmt.Sprintf("%d", v)
+	// Parameter bounds sorted by name: declaration order is not
+	// semantic, only the (name, lo, hi) set is.
+	bounds := append([]spec.ParamBound(nil), sp.ParamBounds...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].Name < bounds[j].Name })
+	for _, pb := range bounds {
+		fmt.Fprintf(&b, "bound %s %d %d\n", pb.Name, pb.Lo, pb.Hi)
+	}
+	for j := range sp.Deps {
+		// FormatDep renders each component as a normalized affine form,
+		// so parameter offsets, steps, and counts survive the round trip;
+		// for constant point templates it degenerates to the plain
+		// integer vector.
+		name, base, dir, count := sp.FormatDep(j)
+		if dir == "" {
+			fmt.Fprintf(&b, "dep %s <%s>\n", name, base)
+		} else {
+			fmt.Fprintf(&b, "dep %s <%s> step <%s> count %s\n", name, base, dir, count)
 		}
-		fmt.Fprintf(&b, "dep %s <%s>\n", d.Name, strings.Join(comps, ", "))
 	}
 	fmt.Fprintf(&b, "order %s\n", strings.Join(sp.Order(), " "))
 	fmt.Fprintf(&b, "balance %s\n", strings.Join(sp.Balance(), " "))

@@ -41,6 +41,38 @@ kernel:
 end
 `
 
+// Extended-template twins: a variable-distance offset and a range
+// dependence, spelled with different bound order, constraint spelling,
+// affine term order, and explicit defaults.
+const vardistSpecA = `
+name vd
+params N D
+vars i j
+constraint 0 <= i <= N
+constraint 0 <= j <= N
+bound N 1 32
+bound D 1 3
+dep back <D, 0>
+dep band <1, 0> step <0, D> count D + 1
+`
+
+const vardistSpecB = `
+# same templates, different spelling
+name vd
+params N D
+vars i j
+constraint i <= N
+constraint i >= 0
+constraint j > -1
+constraint j <= N
+bound D 1 3
+bound N 1 32
+dep back <D, 0>
+dep band <1, 0> step <0, D> count 1 + D
+order i j
+elem float64
+`
+
 func mustParse(t *testing.T, text string) *spec.Spec {
 	t.Helper()
 	sp, err := spec.Parse(text)
@@ -72,6 +104,56 @@ func TestCanonicalizeDistinguishesSemantics(t *testing.T) {
 		got := Canonicalize(mustParse(t, mod.text))
 		if got == base {
 			t.Errorf("%s change did not change the canonical form", mod.name)
+		}
+	}
+}
+
+func TestCanonicalizeEquivalentExtendedSpecs(t *testing.T) {
+	a := Canonicalize(mustParse(t, vardistSpecA))
+	b := Canonicalize(mustParse(t, vardistSpecB))
+	if a != b {
+		t.Fatalf("equivalent extended specs canonicalize differently:\n--- A ---\n%s--- B ---\n%s", a, b)
+	}
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatalf("hash mismatch for identical canonical forms")
+	}
+}
+
+// Every semantic knob of an extended template — parameter bound,
+// variable-distance offset, step, count — must reach the hash.
+func TestCanonicalizeDistinguishesTemplates(t *testing.T) {
+	base := Canonicalize(mustParse(t, vardistSpecA))
+	for _, mod := range []struct{ name, old, new string }{
+		{"bound", "bound D 1 3", "bound D 1 2"},
+		{"offset", "dep back <D, 0>", "dep back <D, 1>"},
+		{"step", "step <0, D>", "step <0, 1>"},
+		{"count", "count D + 1", "count D + 2"},
+	} {
+		text := strings.Replace(vardistSpecA, mod.old, mod.new, 1)
+		if text == vardistSpecA {
+			t.Fatalf("%s: replacement %q did not apply", mod.name, mod.old)
+		}
+		got := Canonicalize(mustParse(t, text))
+		if got == base {
+			t.Errorf("%s change did not change the canonical form", mod.name)
+		}
+	}
+}
+
+// The canonical form of an extended spec must itself be a fixed point
+// of parse-then-canonicalize.
+func TestCanonicalExtendedFixedPoint(t *testing.T) {
+	canon := Canonicalize(mustParse(t, vardistSpecA))
+	sp2, err := spec.Parse(canon)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, canon)
+	}
+	if again := Canonicalize(sp2); again != canon {
+		t.Fatalf("canonicalization is not a fixed point:\n--- first ---\n%s--- second ---\n%s", canon, again)
+	}
+	for _, want := range []string{"bound D 1 3", "bound N 1 32", "step <", "count "} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canonical form lost %q:\n%s", want, canon)
 		}
 	}
 }

@@ -23,46 +23,63 @@ const DefaultKernel = "mix"
 func GenericKernels() []string { return []string{"mix", "sum", "longest"} }
 
 // lookupKernel resolves a generic kernel by name; every generic kernel
-// adapts to the spec's dependence count through the Ctx slices.
+// adapts to the spec's dependence count through the Ctx slices and
+// walks full range-template footprints through DepLen/DepStride (a
+// point dependence is the one-cell footprint).
 func lookupKernel(name string) (engine.Kernel, error) {
 	switch name {
 	case "", DefaultKernel:
 		// A contraction mix of coordinates and dependence values with
-		// weights summing below one, so values stay bounded along any
-		// dependence chain (the dpfuzz reference kernel's recipe).
+		// geometrically decaying footprint weights, so values stay
+		// bounded along any dependence chain (the dpfuzz reference
+		// kernel's recipe).
 		return func(c *engine.Ctx) {
 			v := 1.0
 			for k, xv := range c.X {
 				v += float64((int64(k+1)*31+xv*17)%23) * 0.0625
 			}
 			for j := range c.DepValid {
-				if c.DepValid[j] {
-					v += c.V[c.DepLoc[j]] * (0.5 / float64(j+1))
-				} else {
+				if !c.DepValid[j] {
 					v -= float64(j+1) * 0.125
+					continue
+				}
+				w := 0.5 / float64(j+1)
+				for t := int64(0); t < c.DepLen[j]; t++ {
+					v += c.V[c.DepLoc[j]+t*c.DepStride[j]] * w
+					w *= 0.5
 				}
 			}
 			c.V[c.Loc] = v
 		}, nil
 	case "sum":
-		// Path counting: 1 plus the sum of valid dependence values. Can
-		// overflow to +Inf on large spaces; still deterministic.
+		// Path counting: 1 plus the sum over every valid dependence
+		// footprint cell. Can overflow to +Inf on large spaces; still
+		// deterministic.
 		return func(c *engine.Ctx) {
 			v := 1.0
 			for j := range c.DepValid {
-				if c.DepValid[j] {
-					v += c.V[c.DepLoc[j]]
+				if !c.DepValid[j] {
+					continue
+				}
+				for t := int64(0); t < c.DepLen[j]; t++ {
+					v += c.V[c.DepLoc[j]+t*c.DepStride[j]]
 				}
 			}
 			c.V[c.Loc] = v
 		}, nil
 	case "longest":
-		// Longest dependence chain: max over valid dependences plus one.
+		// Longest dependence chain: max over valid dependence footprint
+		// cells plus one.
 		return func(c *engine.Ctx) {
 			v := 0.0
 			for j := range c.DepValid {
-				if c.DepValid[j] && c.V[c.DepLoc[j]]+1 > v {
-					v = c.V[c.DepLoc[j]] + 1
+				if !c.DepValid[j] {
+					continue
+				}
+				for t := int64(0); t < c.DepLen[j]; t++ {
+					if d := c.V[c.DepLoc[j]+t*c.DepStride[j]] + 1; d > v {
+						v = d
+					}
 				}
 			}
 			c.V[c.Loc] = v

@@ -355,6 +355,9 @@ func (s *Server) resolve(req *QueryRequest) (*resolved, *apiError) {
 		if len(r.params) != len(p.Spec.Params) {
 			return nil, badRequest("serve: problem %s wants %d params, got %d", req.Problem, len(p.Spec.Params), len(r.params))
 		}
+		if err := p.Spec.CheckParams(r.params); err != nil {
+			return nil, badRequest("%v", err)
+		}
 		if p.FixedParams {
 			// The kernel closes over inputs sized by the defaults; other
 			// values would index out of the baked-in data.
@@ -399,6 +402,11 @@ func (s *Server) resolve(req *QueryRequest) (*resolved, *apiError) {
 	r.parse = func() (*spec.Spec, error) { return spec.Parse(text) }
 	if len(r.params) != len(sp.Params) {
 		return nil, badRequest("serve: spec %s wants %d params, got %d", sp.Name, len(sp.Params), len(r.params))
+	}
+	// Out-of-bounds template parameters would step outside the ghost
+	// shells and tile crossings the compiled program was sized for.
+	if err := sp.CheckParams(r.params); err != nil {
+		return nil, badRequest("%v", err)
 	}
 	return r, nil
 }

@@ -89,6 +89,24 @@ func TestQueryBuiltinMatchesSerial(t *testing.T) {
 	}
 }
 
+// Spec-text queries with extended templates (variable-distance offsets
+// and range dependences) compile and run end to end, bit-identically
+// across node/thread configurations, and within-bounds parameter
+// values are accepted.
+func TestQueryExtendedSpecText(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	for _, kernel := range []string{"", "sum", "longest"} {
+		base := query(t, ts.URL, QueryRequest{Spec: vardistSpecA, Kernel: kernel, Params: []int64{8, 2}})
+		for _, cfg := range []struct{ nodes, threads int }{{2, 2}, {1, 4}} {
+			qr := query(t, ts.URL, QueryRequest{Spec: vardistSpecA, Kernel: kernel,
+				Params: []int64{8, 2}, Nodes: cfg.nodes, Threads: cfg.threads, NoResultCache: true})
+			if qr.Value != base.Value {
+				t.Errorf("kernel %q n=%d t=%d: value %v, want %v", kernel, cfg.nodes, cfg.threads, qr.Value, base.Value)
+			}
+		}
+	}
+}
+
 // A repeated identical query is a result-memo hit: no second compile,
 // no second run, identical answer. The memo key excludes nodes/threads
 // (engine results are bit-identical across configurations), so a
@@ -307,6 +325,9 @@ func TestBadRequests(t *testing.T) {
 		{"non-default params on a fixed-params problem", QueryRequest{Problem: "editdist", Params: []int64{10, 10}}},
 		{"nodes over cap", QueryRequest{Problem: "lcs2", Nodes: 3}},
 		{"bad scheduler", QueryRequest{Problem: "lcs2", Sched: "static"}},
+		{"builtin param over declared bound", QueryRequest{Problem: "mcm", Params: []int64{1000}}},
+		{"builtin param under declared bound", QueryRequest{Problem: "knap", Params: []int64{10, 30, 0}}},
+		{"spec template param out of bounds", QueryRequest{Spec: vardistSpecA, Params: []int64{8, 9}}},
 	} {
 		status, body, _ := post(t, ts.URL, "/v1/query", tc.req, nil)
 		if status != http.StatusBadRequest {

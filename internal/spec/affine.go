@@ -1,0 +1,270 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpgen/internal/ints"
+	"dpgen/internal/lin"
+)
+
+// Affine is a small affine form K + sum Coef*Name. Extended dependence
+// templates use it for variable-distance offset components and range
+// directions (parameters only, so the memory geometry is fixed once the
+// run's parameter values are known) and for range lengths (parameters
+// and loop variables, so the interval of predecessors can shrink along
+// the wavefront as in matrix-chain ordering).
+type Affine struct {
+	K     int64
+	Terms []AffTerm
+}
+
+// AffTerm is one Coef*Name term of an Affine.
+type AffTerm struct {
+	Coef int64
+	Name string
+}
+
+// AffConst returns the constant form k.
+func AffConst(k int64) Affine { return Affine{K: k} }
+
+// Norm returns the canonical shape of the form: terms sorted by name,
+// duplicates merged, zero coefficients dropped.
+func (a Affine) Norm() Affine {
+	if len(a.Terms) == 0 {
+		return a
+	}
+	merged := map[string]int64{}
+	var names []string
+	for _, t := range a.Terms {
+		if _, ok := merged[t.Name]; !ok {
+			names = append(names, t.Name)
+		}
+		merged[t.Name] = ints.AddChecked(merged[t.Name], t.Coef)
+	}
+	sort.Strings(names)
+	out := Affine{K: a.K}
+	for _, n := range names {
+		if c := merged[n]; c != 0 {
+			out.Terms = append(out.Terms, AffTerm{Coef: c, Name: n})
+		}
+	}
+	return out
+}
+
+// IsConst reports whether the form has no named terms.
+func (a Affine) IsConst() bool { return len(a.Terms) == 0 }
+
+// IsZero reports whether the form is identically zero.
+func (a Affine) IsZero() bool { return a.K == 0 && len(a.Terms) == 0 }
+
+// Expr converts the form to a lin expression over the given space.
+func (a Affine) Expr(space *lin.Space) (lin.Expr, error) {
+	e := lin.Const(space, a.K)
+	for _, t := range a.Terms {
+		if !space.Has(t.Name) {
+			return lin.Expr{}, fmt.Errorf("spec: affine form uses unknown name %q", t.Name)
+		}
+		e = e.Add(lin.Term(space, t.Coef, t.Name))
+	}
+	return e, nil
+}
+
+// String renders the canonical text of the form, parseable by the spec
+// constraint/dep expression grammar (e.g. "2*N + 1", "N - m - 1", "0").
+func (a Affine) String() string {
+	a = a.Norm()
+	var b strings.Builder
+	first := true
+	for _, t := range a.Terms {
+		switch {
+		case first && t.Coef == 1:
+			b.WriteString(t.Name)
+		case first && t.Coef == -1:
+			b.WriteString("-" + t.Name)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", t.Coef, t.Name)
+		case t.Coef == 1:
+			b.WriteString(" + " + t.Name)
+		case t.Coef == -1:
+			b.WriteString(" - " + t.Name)
+		case t.Coef > 0:
+			fmt.Fprintf(&b, " + %d*%s", t.Coef, t.Name)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -t.Coef, t.Name)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", a.K)
+	case a.K > 0:
+		fmt.Fprintf(&b, " + %d", a.K)
+	case a.K < 0:
+		fmt.Fprintf(&b, " - %d", -a.K)
+	}
+	return b.String()
+}
+
+// affineFromExpr decomposes a lin expression into an Affine.
+func affineFromExpr(e lin.Expr) Affine {
+	a := Affine{K: e.K}
+	sp := e.Space()
+	for i := 0; i < sp.N(); i++ {
+		if c := e.CoeffAt(i); c != 0 {
+			a.Terms = append(a.Terms, AffTerm{Coef: c, Name: sp.Name(i)})
+		}
+	}
+	return a.Norm()
+}
+
+// ParamBound declares the inclusive range a parameter may take. Bounds
+// are required for every parameter used inside a dependence template
+// (offset, direction, or length), because the generator sizes ghost
+// shells and tile-to-tile crossings from the template's bounding hull
+// over all admissible parameter values.
+type ParamBound struct {
+	Name   string
+	Lo, Hi int64
+}
+
+// Bound declares (or overwrites) the range of a parameter.
+func (sp *Spec) Bound(name string, lo, hi int64) {
+	for i := range sp.ParamBounds {
+		if sp.ParamBounds[i].Name == name {
+			sp.ParamBounds[i].Lo, sp.ParamBounds[i].Hi = lo, hi
+			return
+		}
+	}
+	sp.ParamBounds = append(sp.ParamBounds, ParamBound{Name: name, Lo: lo, Hi: hi})
+}
+
+// BoundOf returns the declared bound for a parameter, if any.
+func (sp *Spec) BoundOf(name string) (ParamBound, bool) {
+	for _, b := range sp.ParamBounds {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return ParamBound{}, false
+}
+
+// affRange returns the inclusive interval the form can take when every
+// named parameter stays within its declared bound. Loop variables are
+// rejected: callers bound those separately (see Tiling's length hull).
+func (sp *Spec) affRange(a Affine) (lo, hi int64, err error) {
+	lo, hi = a.K, a.K
+	for _, t := range a.Terms {
+		i := sp.space.Index(t.Name)
+		if i < 0 || !sp.space.IsParam(i) {
+			return 0, 0, fmt.Errorf("spec %q: affine form %q uses non-parameter %q", sp.Name, a, t.Name)
+		}
+		b, ok := sp.BoundOf(t.Name)
+		if !ok {
+			return 0, 0, fmt.Errorf("spec %q: parameter %q used in a template needs a declared bound (bound %s lo hi)",
+				sp.Name, t.Name, t.Name)
+		}
+		v1 := ints.MulChecked(t.Coef, b.Lo)
+		v2 := ints.MulChecked(t.Coef, b.Hi)
+		lo = ints.AddChecked(lo, ints.Min(v1, v2))
+		hi = ints.AddChecked(hi, ints.Max(v1, v2))
+	}
+	return lo, hi, nil
+}
+
+// ExprHull returns the inclusive range a parameters-only expression can
+// take over the declared parameter bounds.
+func (sp *Spec) ExprHull(e lin.Expr) (lo, hi int64, err error) {
+	return sp.affRange(affineFromExpr(e))
+}
+
+// Hull is the bounding geometry of all dependence templates: Lo/Hi are
+// the per-dimension ghost reaches, DepLo/DepHi the per-dependence
+// per-dimension footprint intervals over all admissible parameter
+// values and range steps.
+type Hull struct {
+	Lo, Hi       []int64
+	DepLo, DepHi [][]int64
+}
+
+// TemplateHull computes the dependence footprint hull. lmax gives, per
+// dependence, an upper bound on the range length (0 or 1 for point
+// dependences); the Tiling computes it by Fourier–Motzkin maximization
+// of the length form over the iteration space and the parameter bounds.
+// It also enforces the structural rules the tiled-wavefront execution
+// needs: a single dependence direction per dimension across the whole
+// hull, and no footprint that can contain the zero vector (a cell
+// depending on itself).
+func (sp *Spec) TemplateHull(lmax []int64) (*Hull, error) {
+	d := len(sp.Vars)
+	h := &Hull{
+		Lo:    make([]int64, d),
+		Hi:    make([]int64, d),
+		DepLo: make([][]int64, len(sp.Deps)),
+		DepHi: make([][]int64, len(sp.Deps)),
+	}
+	for j, dep := range sp.Deps {
+		fLo := make([]int64, d)
+		fHi := make([]int64, d)
+		for k := 0; k < d; k++ {
+			bLo, bHi := dep.Vec[k], dep.Vec[k]
+			if dep.PVec != nil && !dep.PVec[k].IsZero() {
+				rlo, rhi, err := sp.affRange(dep.PVec[k])
+				if err != nil {
+					return nil, fmt.Errorf("spec %q: dep %q offset %s: %w", sp.Name, dep.Name, sp.Vars[k], err)
+				}
+				bLo, bHi = ints.AddChecked(bLo, rlo), ints.AddChecked(bHi, rhi)
+			}
+			fLo[k], fHi[k] = bLo, bHi
+			if dep.IsRange() && j < len(lmax) && lmax[j] > 1 {
+				dLo, dHi := int64(0), int64(0)
+				if dep.Dir != nil {
+					dLo, dHi = dep.Dir[k], dep.Dir[k]
+				}
+				if dep.PDir != nil && !dep.PDir[k].IsZero() {
+					rlo, rhi, err := sp.affRange(dep.PDir[k])
+					if err != nil {
+						return nil, fmt.Errorf("spec %q: dep %q direction %s: %w", sp.Name, dep.Name, sp.Vars[k], err)
+					}
+					dLo, dHi = ints.AddChecked(dLo, rlo), ints.AddChecked(dHi, rhi)
+				}
+				tmax := lmax[j] - 1
+				fLo[k] = ints.AddChecked(fLo[k], ints.Min(0, ints.MulChecked(dLo, tmax)))
+				fHi[k] = ints.AddChecked(fHi[k], ints.Max(0, ints.MulChecked(dHi, tmax)))
+			}
+		}
+		// A footprint that can contain the zero vector would make a cell
+		// depend on itself; require some dimension whose interval
+		// excludes zero.
+		nonzero := false
+		for k := 0; k < d; k++ {
+			if fLo[k] > 0 || fHi[k] < 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			return nil, fmt.Errorf("spec %q: dependence %q footprint can contain the zero vector (self-dependence)",
+				sp.Name, dep.Name)
+		}
+		h.DepLo[j], h.DepHi[j] = fLo, fHi
+		for k := 0; k < d; k++ {
+			h.Lo[k] = ints.Min(h.Lo[k], fLo[k])
+			h.Hi[k] = ints.Max(h.Hi[k], fHi[k])
+		}
+	}
+	for k := 0; k < d; k++ {
+		if h.Lo[k] < 0 && h.Hi[k] > 0 {
+			return nil, fmt.Errorf("spec %q: dimension %s has both positive and negative template components over the parameter bounds",
+				sp.Name, sp.Vars[k])
+		}
+	}
+	// Convert to ghost reaches: Lo becomes the (nonnegative) downward
+	// shell thickness.
+	for k := 0; k < d; k++ {
+		h.Lo[k] = ints.Max(0, -h.Lo[k])
+		h.Hi[k] = ints.Max(0, h.Hi[k])
+	}
+	return h, nil
+}

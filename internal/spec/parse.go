@@ -65,6 +65,154 @@ func ParseConstraint(space *lin.Space, text string) ([]lin.Ineq, error) {
 	return out, nil
 }
 
+// ParseExpr parses a single affine expression (no relation) over the
+// space.
+func ParseExpr(space *lin.Space, text string) (lin.Expr, error) {
+	toks, err := tokenize(text)
+	if err != nil {
+		return lin.Expr{}, err
+	}
+	p := &parser{space: space, toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return lin.Expr{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return lin.Expr{}, fmt.Errorf("spec: unexpected %q in expression %q", p.peek().text, text)
+	}
+	return e, nil
+}
+
+// parseAffine parses text into a canonical Affine over the spec space.
+func (sp *Spec) parseAffine(text string) (Affine, error) {
+	e, err := ParseExpr(sp.space, text)
+	if err != nil {
+		return Affine{}, err
+	}
+	return affineFromExpr(e), nil
+}
+
+// parseComponents parses a vector of affine components: comma-separated
+// when a comma is present, whitespace-separated otherwise; angle
+// brackets are ignored.
+func (sp *Spec) parseComponents(text string) ([]Affine, error) {
+	text = strings.NewReplacer("<", "", ">", "").Replace(text)
+	var parts []string
+	if strings.Contains(text, ",") {
+		parts = strings.Split(text, ",")
+	} else {
+		parts = strings.Fields(text)
+	}
+	out := make([]Affine, 0, len(parts))
+	for _, p := range parts {
+		a, err := sp.parseAffine(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// splitAffines separates a component vector into its constant part and,
+// when any parameter term is present, the parameter-affine remainder.
+func splitAffines(comps []Affine) (vec []int64, pvec []Affine) {
+	vec = make([]int64, len(comps))
+	any := false
+	rest := make([]Affine, len(comps))
+	for k, a := range comps {
+		vec[k] = a.K
+		rest[k] = Affine{Terms: a.Terms}
+		if len(a.Terms) > 0 {
+			any = true
+		}
+	}
+	if any {
+		pvec = rest
+	}
+	return vec, pvec
+}
+
+// AddDepSpec appends a dependence written in the input syntax: base is
+// the offset component vector ("1, 0" or "2*N + 1, 0"), and dir/count,
+// when non-empty, declare a range template's step vector and length
+// form ("N - m - 1"). Components using parameters require declared
+// bounds (see Bound).
+func (sp *Spec) AddDepSpec(name, base, dir, count string) error {
+	comps, err := sp.parseComponents(base)
+	if err != nil {
+		return fmt.Errorf("spec: dep %q base: %w", name, err)
+	}
+	dep := Dep{Name: name}
+	dep.Vec, dep.PVec = splitAffines(comps)
+	if (dir == "") != (count == "") {
+		return fmt.Errorf("spec: dep %q must declare step and count together", name)
+	}
+	if dir != "" {
+		dcomps, err := sp.parseComponents(dir)
+		if err != nil {
+			return fmt.Errorf("spec: dep %q step: %w", name, err)
+		}
+		dep.Dir, dep.PDir = splitAffines(dcomps)
+		l, err := sp.parseAffine(count)
+		if err != nil {
+			return fmt.Errorf("spec: dep %q count: %w", name, err)
+		}
+		dep.Len = &l
+	}
+	// Reject loop variables in offsets and directions early (Validate
+	// would also catch this, with a less precise message).
+	for _, as := range [][]Affine{dep.PVec, dep.PDir} {
+		for _, a := range as {
+			for _, t := range a.Terms {
+				if i := sp.space.Index(t.Name); i >= 0 && !sp.space.IsParam(i) {
+					return fmt.Errorf("spec: dep %q uses loop variable %q in an offset; only the count may use loop variables", name, t.Name)
+				}
+			}
+		}
+	}
+	sp.Deps = append(sp.Deps, dep)
+	return nil
+}
+
+// MustAddDepSpec is AddDepSpec that panics on error, for fixed built-in
+// problems and generated regression cases.
+func (sp *Spec) MustAddDepSpec(name, base, dir, count string) {
+	if err := sp.AddDepSpec(name, base, dir, count); err != nil {
+		panic(err)
+	}
+}
+
+// FormatDep renders a dependence in the canonical input syntax accepted
+// by Parse and AddDepSpec.
+func (sp *Spec) FormatDep(j int) (name, base, dir, count string) {
+	dep := &sp.Deps[j]
+	comp := func(vec []int64, pvec []Affine, k int) string {
+		a := Affine{}
+		if vec != nil {
+			a.K = vec[k]
+		}
+		if pvec != nil {
+			a.Terms = pvec[k].Terms
+		}
+		return a.String()
+	}
+	var bs []string
+	for k := range sp.Vars {
+		bs = append(bs, comp(dep.Vec, dep.PVec, k))
+	}
+	base = strings.Join(bs, ", ")
+	if dep.IsRange() {
+		var ds []string
+		for k := range sp.Vars {
+			ds = append(ds, comp(dep.Dir, dep.PDir, k))
+		}
+		dir = strings.Join(ds, ", ")
+		count = dep.Len.String()
+	}
+	return dep.Name, base, dir, count
+}
+
 type tokKind int
 
 const (
@@ -335,19 +483,35 @@ func Parse(input string) (*Spec, error) {
 			if err := ensure(lineNo); err != nil {
 				return nil, err
 			}
-			fields := strings.Fields(strings.NewReplacer("<", " ", ">", " ", ",", " ").Replace(rest))
-			if len(fields) < 2 {
+			name, body, _ := strings.Cut(rest, " ")
+			if name == "" || strings.TrimSpace(body) == "" {
 				return nil, fmt.Errorf("spec:%d: dep needs a name and components", lineNo)
 			}
-			vec := make([]int64, 0, len(fields)-1)
-			for _, f := range fields[1:] {
-				v, err := strconv.ParseInt(f, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("spec:%d: bad dep component %q", lineNo, f)
+			base, dir, count := strings.TrimSpace(body), "", ""
+			if b, r, ok := strings.Cut(base, " step "); ok {
+				d, c, ok := strings.Cut(r, " count ")
+				if !ok {
+					return nil, fmt.Errorf("spec:%d: dep %q has a step but no count", lineNo, name)
 				}
-				vec = append(vec, v)
+				base, dir, count = strings.TrimSpace(b), strings.TrimSpace(d), strings.TrimSpace(c)
 			}
-			sp.AddDep(fields[0], vec...)
+			if err := sp.AddDepSpec(name, base, dir, count); err != nil {
+				return nil, fmt.Errorf("spec:%d: %w", lineNo, err)
+			}
+		case "bound":
+			if err := ensure(lineNo); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("spec:%d: bound needs a parameter, lo and hi", lineNo)
+			}
+			lo, err1 := strconv.ParseInt(fields[1], 10, 64)
+			hi, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("spec:%d: bad bound range %q %q", lineNo, fields[1], fields[2])
+			}
+			sp.Bound(fields[0], lo, hi)
 		case "order":
 			if err := ensure(lineNo); err != nil {
 				return nil, err

@@ -16,10 +16,52 @@ import (
 	"dpgen/internal/lin"
 )
 
-// Dep is a template dependence vector: f(x) depends on f(x + Vec).
+// Dep is a template dependence. In the basic (paper) form f(x) depends
+// on the single cell f(x + Vec). Two extensions widen the workload
+// class:
+//
+//   - Variable-distance offsets: PVec adds a parameter-affine part to
+//     each component, so component k of the base offset is
+//     Vec[k] + PVec[k](p). Every parameter used must carry a declared
+//     bound (Spec.ParamBounds); the generator sizes ghost shells and
+//     tile crossings from the resulting hull.
+//   - Range templates (nonserial polyadic DP): when Dir/PDir is set,
+//     f(x) depends on the interval of cells f(x + base + t*dir) for
+//     t = 0, 1, ..., len-1, where dir_k = Dir[k] + PDir[k](p) and len
+//     is the Len form over parameters and loop variables. The runtime
+//     truncates len to the longest prefix of the footprint that stays
+//     inside the iteration space (walking t upward and stopping at the
+//     first cell outside, exactly like a serial reference loop would).
 type Dep struct {
 	Name string
-	Vec  []int64 // indexed like Vars
+	Vec  []int64 // base offset, indexed like Vars
+	// PVec, when non-nil, has one parameter-affine addition per
+	// component of Vec.
+	PVec []Affine
+	// Dir and PDir, when non-nil, make this a range template with step
+	// vector Dir[k] + PDir[k](p).
+	Dir  []int64
+	PDir []Affine
+	// Len is the range length form (parameters and loop variables);
+	// required exactly when the dependence is a range template.
+	Len *Affine
+}
+
+// IsRange reports whether the dependence is a range template.
+func (d *Dep) IsRange() bool { return d.Dir != nil || d.PDir != nil }
+
+// Extended reports whether the dependence uses any capability beyond a
+// constant template vector.
+func (d *Dep) Extended() bool {
+	if d.IsRange() || d.Len != nil {
+		return true
+	}
+	for _, a := range d.PVec {
+		if !a.IsZero() {
+			return true
+		}
+	}
+	return false
 }
 
 // Spec is a complete problem description.
@@ -42,6 +84,9 @@ type Spec struct {
 	// TileWidths holds w_k per variable (in Vars order). Zero entries
 	// default to 8.
 	TileWidths []int64
+	// ParamBounds are the declared inclusive ranges of parameters used
+	// inside dependence templates (see ParamBound).
+	ParamBounds []ParamBound
 	// Elem is the state array element type for generated code
 	// ("float64" or "float32"); the in-process engine always uses float64.
 	Elem string
@@ -203,15 +248,23 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("spec %q: dependence %q has %d components, want %d",
 				sp.Name, dep.Name, len(dep.Vec), len(sp.Vars))
 		}
-		zero := true
-		for _, c := range dep.Vec {
-			if c != 0 {
-				zero = false
+		if !dep.Extended() {
+			zero := true
+			for _, c := range dep.Vec {
+				if c != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				return fmt.Errorf("spec %q: dependence %q is the zero vector", sp.Name, dep.Name)
 			}
 		}
-		if zero {
-			return fmt.Errorf("spec %q: dependence %q is the zero vector", sp.Name, dep.Name)
+		if err := sp.validateExtended(&dep); err != nil {
+			return err
 		}
+	}
+	if err := sp.validateBounds(); err != nil {
+		return err
 	}
 	if err := sp.checkVarList("order", sp.Order(), true); err != nil {
 		return err
@@ -222,13 +275,8 @@ func (sp *Spec) Validate() error {
 	if len(sp.TileWidths) != 0 && len(sp.TileWidths) != len(sp.Vars) {
 		return fmt.Errorf("spec %q: %d tile widths for %d variables", sp.Name, len(sp.TileWidths), len(sp.Vars))
 	}
-	lo, hi := sp.Reach()
-	for k, w := range sp.Widths() {
-		if need := ints.Max(lo[k], hi[k]); w < need {
-			return fmt.Errorf("spec %q: tile width %d for %s is below the template reach %d",
-				sp.Name, w, sp.Vars[k], need)
-		}
-	}
+	// A tile width below the template reach is allowed: the tiling
+	// derives multi-tile crossing offsets from the footprint hull.
 	if sp.Goal != nil && len(sp.Goal) != len(sp.Vars) {
 		return fmt.Errorf("spec %q: goal has %d components, want %d", sp.Name, len(sp.Goal), len(sp.Vars))
 	}
@@ -277,4 +325,215 @@ func (sp *Spec) VarIndex(name string) int {
 		}
 	}
 	return -1
+}
+
+// validateExtended checks the structural rules of the extended template
+// forms: arities, parameter-only offset/direction forms with declared
+// bounds, and a length form present exactly for range templates.
+func (sp *Spec) validateExtended(dep *Dep) error {
+	d := len(sp.Vars)
+	checkAff := func(as []Affine, what string) error {
+		if as == nil {
+			return nil
+		}
+		if len(as) != d {
+			return fmt.Errorf("spec %q: dependence %q %s has %d components, want %d",
+				sp.Name, dep.Name, what, len(as), d)
+		}
+		for _, a := range as {
+			for _, t := range a.Terms {
+				i := sp.space.Index(t.Name)
+				if i < 0 || !sp.space.IsParam(i) {
+					return fmt.Errorf("spec %q: dependence %q %s uses %q, which is not a parameter",
+						sp.Name, dep.Name, what, t.Name)
+				}
+				if _, ok := sp.BoundOf(t.Name); !ok {
+					return fmt.Errorf("spec %q: dependence %q uses parameter %q without a declared bound",
+						sp.Name, dep.Name, t.Name)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkAff(dep.PVec, "offset"); err != nil {
+		return err
+	}
+	if err := checkAff(dep.PDir, "direction"); err != nil {
+		return err
+	}
+	if dep.Dir != nil && len(dep.Dir) != d {
+		return fmt.Errorf("spec %q: dependence %q direction has %d components, want %d",
+			sp.Name, dep.Name, len(dep.Dir), d)
+	}
+	if dep.IsRange() != (dep.Len != nil) {
+		return fmt.Errorf("spec %q: dependence %q must declare a step and a count together",
+			sp.Name, dep.Name)
+	}
+	if dep.IsRange() {
+		zero := dep.Dir == nil
+		if dep.Dir != nil {
+			zero = true
+			for _, c := range dep.Dir {
+				if c != 0 {
+					zero = false
+				}
+			}
+		}
+		if zero && dep.PDir != nil {
+			for _, a := range dep.PDir {
+				if !a.IsZero() {
+					zero = false
+				}
+			}
+		}
+		if zero {
+			return fmt.Errorf("spec %q: range dependence %q has a zero step vector", sp.Name, dep.Name)
+		}
+		for _, t := range dep.Len.Terms {
+			if !sp.space.Has(t.Name) {
+				return fmt.Errorf("spec %q: dependence %q count uses unknown name %q",
+					sp.Name, dep.Name, t.Name)
+			}
+			if i := sp.space.Index(t.Name); sp.space.IsParam(i) {
+				if _, ok := sp.BoundOf(t.Name); !ok {
+					return fmt.Errorf("spec %q: dependence %q count uses parameter %q without a declared bound",
+						sp.Name, dep.Name, t.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateBounds checks the declared parameter bounds themselves.
+func (sp *Spec) validateBounds() error {
+	seen := map[string]bool{}
+	for _, b := range sp.ParamBounds {
+		i := sp.space.Index(b.Name)
+		if i < 0 || !sp.space.IsParam(i) {
+			return fmt.Errorf("spec %q: bound declared for %q, which is not a parameter", sp.Name, b.Name)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("spec %q: duplicate bound for parameter %q", sp.Name, b.Name)
+		}
+		seen[b.Name] = true
+		if b.Lo > b.Hi {
+			return fmt.Errorf("spec %q: bound for %q has lo %d > hi %d", sp.Name, b.Name, b.Lo, b.Hi)
+		}
+	}
+	return nil
+}
+
+// HasExtendedDeps reports whether any dependence uses variable-distance
+// offsets or range templates.
+func (sp *Spec) HasExtendedDeps() bool {
+	for i := range sp.Deps {
+		if sp.Deps[i].Extended() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasRangeDeps reports whether any dependence is a range template.
+func (sp *Spec) HasRangeDeps() bool {
+	for i := range sp.Deps {
+		if sp.Deps[i].IsRange() {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckParams verifies that the given parameter values (in Params
+// order) respect every declared bound. Runtimes reject out-of-bounds
+// values because the precomputed ghost shells and tile crossings only
+// cover the declared hull.
+func (sp *Spec) CheckParams(params []int64) error {
+	for _, b := range sp.ParamBounds {
+		for i, pn := range sp.Params {
+			if pn != b.Name || i >= len(params) {
+				continue
+			}
+			if params[i] < b.Lo || params[i] > b.Hi {
+				return fmt.Errorf("spec %q: parameter %s = %d outside declared bound [%d, %d]",
+					sp.Name, pn, params[i], b.Lo, b.Hi)
+			}
+		}
+	}
+	return nil
+}
+
+// BaseExpr returns component k of dependence j's base offset as an
+// expression over the spec space (parameters only).
+func (sp *Spec) BaseExpr(j, k int) lin.Expr {
+	dep := &sp.Deps[j]
+	e := lin.Const(sp.space, dep.Vec[k])
+	if dep.PVec != nil {
+		pe, err := dep.PVec[k].Expr(sp.space)
+		if err != nil {
+			panic(err) // Validate guarantees the names exist
+		}
+		e = e.Add(pe)
+	}
+	return e
+}
+
+// DirExpr returns component k of range dependence j's step vector as an
+// expression over the spec space (parameters only); the zero expression
+// for point dependences.
+func (sp *Spec) DirExpr(j, k int) lin.Expr {
+	dep := &sp.Deps[j]
+	e := lin.Zero(sp.space)
+	if dep.Dir != nil {
+		e = e.AddConst(dep.Dir[k])
+	}
+	if dep.PDir != nil {
+		pe, err := dep.PDir[k].Expr(sp.space)
+		if err != nil {
+			panic(err)
+		}
+		e = e.Add(pe)
+	}
+	return e
+}
+
+// LenExpr returns range dependence j's length form as an expression
+// over the spec space (parameters and loop variables).
+func (sp *Spec) LenExpr(j int) lin.Expr {
+	dep := &sp.Deps[j]
+	if dep.Len == nil {
+		return lin.Zero(sp.space)
+	}
+	e, err := dep.Len.Expr(sp.space)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// BaseAt evaluates dependence j's base offset vector at the given
+// parameter values (in Params order).
+func (sp *Spec) BaseAt(j int, params []int64) []int64 {
+	d := len(sp.Vars)
+	vals := make([]int64, sp.space.N())
+	copy(vals, params)
+	out := make([]int64, d)
+	for k := 0; k < d; k++ {
+		out[k] = sp.BaseExpr(j, k).Eval(vals)
+	}
+	return out
+}
+
+// DirAt evaluates range dependence j's step vector at the given
+// parameter values.
+func (sp *Spec) DirAt(j int, params []int64) []int64 {
+	d := len(sp.Vars)
+	vals := make([]int64, sp.space.N())
+	copy(vals, params)
+	out := make([]int64, d)
+	for k := 0; k < d; k++ {
+		out[k] = sp.DirExpr(j, k).Eval(vals)
+	}
+	return out
 }

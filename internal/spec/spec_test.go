@@ -171,7 +171,14 @@ func TestValidateCatches(t *testing.T) {
 		"bad order var":  func(sp *Spec) { sp.LoopOrder = []string{"x", "zz"} },
 		"partial order":  func(sp *Spec) { sp.LoopOrder = []string{"x"} },
 		"bad balance":    func(sp *Spec) { sp.LBDims = []string{"N"} },
-		"narrow tile":    func(sp *Spec) { sp.AddDep("w", 9, 0); sp.TileWidths = []int64{4, 4} },
+		"range no count": func(sp *Spec) { sp.Deps = append(sp.Deps, Dep{Name: "z", Vec: []int64{1, 0}, Dir: []int64{0, 1}}) },
+		"zero step": func(sp *Spec) {
+			l := AffConst(2)
+			sp.Deps = append(sp.Deps, Dep{Name: "z", Vec: []int64{1, 0}, Dir: []int64{0, 0}, Len: &l})
+		},
+		"unbounded param": func(sp *Spec) { sp.MustAddDepSpec("z", "N, 0", "", "") },
+		"bad bound":       func(sp *Spec) { sp.Bound("N", 5, 1) },
+		"bound non-param": func(sp *Spec) { sp.Bound("x", 0, 1) },
 		"tile arity":     func(sp *Spec) { sp.TileWidths = []int64{4} },
 		"goal arity":     func(sp *Spec) { sp.Goal = []int64{0} },
 		"bad elem":       func(sp *Spec) { sp.Elem = "complex128" },

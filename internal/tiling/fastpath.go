@@ -121,11 +121,13 @@ func (tl *Tiling) buildInteriorScans() {
 		lo := make([]int64, d)
 		cnt := make([]int64, d)
 		for k := 0; k < d; k++ {
-			switch dep.Offset[k] {
-			case 1:
-				lo[k], cnt[k] = 0, tl.GhostHi[k]
-			case -1:
-				lo[k], cnt[k] = tl.Widths[k]-tl.GhostLo[k], tl.GhostLo[k]
+			switch o := dep.Offset[k]; {
+			case o >= 1:
+				lo[k] = 0
+				cnt[k] = ints.Min(tl.Widths[k], tl.Widths[k]+tl.GhostHi[k]-o*tl.Widths[k])
+			case o <= -1:
+				lo[k] = ints.Max(0, -o*tl.Widths[k]-tl.GhostLo[k])
+				cnt[k] = tl.Widths[k] - lo[k]
 			default:
 				lo[k], cnt[k] = 0, tl.Widths[k]
 			}

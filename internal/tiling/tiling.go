@@ -45,9 +45,23 @@ type Tiling struct {
 	BaseOff  int64   // sum GhostLo_k * Strides_k, the offset of local origin
 	AllocLen int64   // product of Alloc: per-tile buffer length
 
-	// DepLocOff[j] is the constant memory offset of template dependence j
-	// relative to the current location (the mapping functions of IV-H).
+	// DepLocOff[j] is the constant part of template dependence j's
+	// memory offset relative to the current location (the mapping
+	// functions of IV-H). For variable-distance templates the full
+	// offset is parameter-dependent: runtimes use DepLocOffAt.
 	DepLocOff []int64
+
+	// DepLocExpr[j] and DepStrideExpr[j] are the base and range-step
+	// memory offsets of dependence j as parameter-only expressions over
+	// the spec space (see extended.go). LenExprs[j] is range dependence
+	// j's length form (parameters and loop variables); RangeChecks[j]
+	// its per-constraint footprint prefix checks. LenMax[j] bounds the
+	// length over the whole space and parameter bounds.
+	DepLocExpr    []lin.Expr
+	DepStrideExpr []lin.Expr
+	LenExprs      []lin.Expr
+	RangeChecks   [][]RangeCheck
+	LenMax        []int64
 
 	// Validity[j] lists the iteration-space constraints that template
 	// dependence j can violate, pre-shifted by the template vector
@@ -112,7 +126,19 @@ func New(sp *spec.Spec) (*Tiling, error) {
 	}
 	d := len(sp.Vars)
 	tl := &Tiling{Spec: sp, Widths: sp.Widths()}
-	tl.GhostLo, tl.GhostHi = sp.Reach()
+	// Ghost shells are sized from the dependence footprint hull over
+	// the declared parameter bounds: for range templates the footprint
+	// extends to LenMax-1 steps along the direction vector.
+	lmax, err := tl.depLenMaxima()
+	if err != nil {
+		return nil, err
+	}
+	tl.LenMax = lmax
+	hull, err := sp.TemplateHull(lmax)
+	if err != nil {
+		return nil, err
+	}
+	tl.GhostLo, tl.GhostHi = hull.Lo, hull.Hi
 
 	// Loop order as variable indexes.
 	order := sp.Order()
@@ -160,8 +186,11 @@ func New(sp *spec.Spec) (*Tiling, error) {
 	if err := tl.buildSpaces(); err != nil {
 		return nil, err
 	}
-	tl.buildValidity()
-	if err := tl.buildTileDeps(); err != nil {
+	if err := tl.buildValidity(); err != nil {
+		return nil, err
+	}
+	tl.buildDepGeometry()
+	if err := tl.buildTileDeps(hull); err != nil {
 		return nil, err
 	}
 	if err := tl.buildFastPath(); err != nil {
@@ -262,47 +291,60 @@ func (tl *Tiling) buildSpaces() error {
 }
 
 // buildValidity creates the template-recurrence validity checks
-// (Section IV-G): for each dependence r and each original constraint
-// a.x + b.p + c >= 0 with a.r < 0, accessing x + r can violate the
-// constraint, so the shifted inequality a.x + b.p + c + a.r >= 0 must be
-// checked at runtime.
-func (tl *Tiling) buildValidity() {
+// (Section IV-G): for each point dependence r and each original
+// constraint a.x + b.p + c >= 0 whose shift a.r can be negative,
+// accessing x + r can violate the constraint, so the shifted inequality
+// a.x + b.p + c + a.r >= 0 must be checked at runtime. With
+// variable-distance offsets the shift is a parameter-affine expression;
+// the constraint is included whenever the shift can be negative over
+// the declared parameter bounds. Range templates use RangeChecks (see
+// extended.go) instead.
+func (tl *Tiling) buildValidity() error {
 	sp := tl.Spec
 	tl.Validity = make([][]lin.Ineq, len(sp.Deps))
-	for j, dep := range sp.Deps {
+	for j := range sp.Deps {
+		if sp.Deps[j].IsRange() {
+			continue
+		}
 		for _, q := range sp.Constraints {
-			var shift int64
+			shift := lin.Zero(sp.Space())
 			for k, v := range sp.Vars {
-				shift += q.Coeff(v) * dep.Vec[k]
+				if a := q.Coeff(v); a != 0 {
+					shift = shift.Add(sp.BaseExpr(j, k).Scale(a))
+				}
 			}
-			if shift < 0 {
-				tl.Validity[j] = append(tl.Validity[j], lin.Ineq{Expr: q.Expr.AddConst(shift)})
+			include := false
+			if shift.IsConst() {
+				include = shift.K < 0
+			} else {
+				lo, _, err := sp.ExprHull(shift)
+				if err != nil {
+					return fmt.Errorf("tiling: dependence %q validity: %w", sp.Deps[j].Name, err)
+				}
+				include = lo < 0
+			}
+			if include {
+				tl.Validity[j] = append(tl.Validity[j], lin.Ineq{Expr: q.Expr.Add(shift)})
 			}
 		}
 	}
+	return nil
 }
 
 // buildTileDeps enumerates the distinct tile-offset vectors induced by
 // the template dependencies (Section IV-F) and builds each edge's
-// pack/unpack scan nest (Section IV-I).
-func (tl *Tiling) buildTileDeps() error {
+// pack/unpack scan nest (Section IV-I). A footprint whose reach exceeds
+// the tile width crosses more than one tile boundary, so the
+// per-dimension crossing magnitudes range up to ceil(reach/width)
+// rather than one.
+func (tl *Tiling) buildTileDeps(hull *spec.Hull) error {
 	sp := tl.Spec
 	d := len(sp.Vars)
 	seen := map[string]bool{}
 	var offsets [][]int64
-	for _, dep := range sp.Deps {
-		// Per-dimension candidate crossings.
-		choice := make([][]int64, d)
-		for k, r := range dep.Vec {
-			switch {
-			case r > 0:
-				choice[k] = []int64{0, 1}
-			case r < 0:
-				choice[k] = []int64{0, -1}
-			default:
-				choice[k] = []int64{0}
-			}
-		}
+	for j := range sp.Deps {
+		// Per-dimension candidate crossings from the footprint hull.
+		choice := tl.depChoices(hull, j)
 		cur := make([]int64, d)
 		var rec func(int)
 		rec = func(k int) {
@@ -333,6 +375,11 @@ func (tl *Tiling) buildTileDeps() error {
 		rec(0)
 	}
 
+	if len(offsets) > maxTileDeps {
+		return fmt.Errorf("tiling: %d tile-to-tile crossings exceed the limit of %d; increase the tile widths relative to the template reach",
+			len(offsets), maxTileDeps)
+	}
+
 	// Deterministic order: lexicographic.
 	sortOffsets(offsets)
 
@@ -360,15 +407,18 @@ func (tl *Tiling) buildPackNest(off []int64) (*loopgen.Nest, error) {
 	}
 	for k, o := range off {
 		in := iName(sp.Vars[k])
-		switch o {
-		case 1:
-			// Consumer below producer: it reads the producer's low band
-			// i_k in [0, GhostHi_k - 1].
-			local.AddLE(lin.Var(tl.localSpace, in), lin.Const(tl.localSpace, tl.GhostHi[k]-1))
-		case -1:
-			// Consumer above producer: it reads the high band
-			// i_k in [w_k - GhostLo_k, w_k - 1].
-			local.AddGE(lin.Var(tl.localSpace, in), lin.Const(tl.localSpace, tl.Widths[k]-tl.GhostLo[k]))
+		switch {
+		case o >= 1:
+			// Consumer o tiles below the producer: it reads the
+			// producer's low band i_k in [0, w_k-1+GhostHi_k-o*w_k]
+			// (for o == 1 and reach within the width, [0, GhostHi_k-1]).
+			local.AddLE(lin.Var(tl.localSpace, in),
+				lin.Const(tl.localSpace, tl.Widths[k]-1+tl.GhostHi[k]-o*tl.Widths[k]))
+		case o <= -1:
+			// Consumer above the producer: it reads the high band
+			// i_k in [-o*w_k - GhostLo_k, w_k - 1].
+			local.AddGE(lin.Var(tl.localSpace, in),
+				lin.Const(tl.localSpace, -o*tl.Widths[k]-tl.GhostLo[k]))
 		}
 	}
 	d := len(sp.Vars)
