@@ -17,6 +17,7 @@
 //	dpfuzz -duration 30m           # as many seeds as fit in 30 minutes
 //	dpfuzz -workers 4              # parallel soak
 //	dpfuzz -killrecover            # add the crash-recovery differential per seed
+//	dpfuzz -elastic                # add the elastic-membership differential per seed
 //	dpfuzz -class range            # restrict to one template class (const, vardist, range)
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	progress := flag.Duration("progress", 10*time.Second, "progress report interval")
 	failFast := flag.Bool("failfast", false, "stop at the first failure")
 	killRecover := flag.Bool("killrecover", false, "also run the crash-recovery differential per seed (rank kill + resume/rejoin)")
+	elastic := flag.Bool("elastic", false, "also run the elastic-membership differential per seed (2 -> 3 -> 2 ranks mid-run)")
 	className := flag.String("class", "any", "restrict generation to one template class: const, vardist, range (any = natural mix)")
 	flag.Parse()
 
@@ -97,6 +99,9 @@ func main() {
 				}
 				if err == nil && *killRecover {
 					err = dpfuzz.CheckKillRecover(in)
+				}
+				if err == nil && *elastic {
+					err = dpfuzz.CheckElastic(in)
 				}
 				done.Add(1)
 				if err == nil {

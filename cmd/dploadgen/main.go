@@ -56,7 +56,16 @@ type sample struct {
 	status    int
 	cached    bool
 	coalesced bool
+	// retryAfter is the server's Retry-After backoff on a 429/503
+	// response (zero when absent); the closed loop honours it before
+	// its next request instead of hammering a shedding server.
+	retryAfter time.Duration
 }
+
+// maxRetryAfter caps the honoured Retry-After backoff so a
+// misconfigured or adversarial server cannot park a client for the
+// rest of the run.
+const maxRetryAfter = 2 * time.Second
 
 // levelRow is one concurrency level's aggregate, the unit of the
 // BENCH_serve.json snapshot.
@@ -220,7 +229,15 @@ func runLevel(addr string, reqs []serve.QueryRequest, n int, d time.Duration, te
 			for time.Now().Before(deadline) {
 				req := reqs[rng.Intn(len(reqs))]
 				req.Tenant = fmt.Sprintf("tenant-%d", rng.Intn(tenants))
-				samples[c] = append(samples[c], issue(client, addr, &req))
+				s := issue(client, addr, &req)
+				samples[c] = append(samples[c], s)
+				if s.retryAfter > 0 {
+					if wait := time.Until(deadline); wait < s.retryAfter {
+						time.Sleep(wait)
+					} else {
+						time.Sleep(s.retryAfter)
+					}
+				}
 			}
 		}(c)
 	}
@@ -282,8 +299,34 @@ func issue(client *http.Client, addr string, req *serve.QueryRequest) sample {
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		if s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable {
+			s.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
 	}
 	return s
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay seconds or an HTTP-date — clamped to [0, maxRetryAfter].
+// Absent or malformed headers yield zero (no backoff).
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = time.Until(at)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // pctMs reads the p-th percentile (nearest-rank) of sorted ns samples

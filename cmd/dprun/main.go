@@ -82,6 +82,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat send interval for recovery-enabled transports (default 250ms; see docs/FAULT_TOLERANCE.md)")
+		peerDownTO  = flag.Duration("peer-down-timeout", 0, "how long a down peer may stay down before the job fails (default 30s)")
 		ckptDir     = flag.String("ckpt-dir", "", "checkpoint directory; enables the fault-tolerance layer (docs/FAULT_TOLERANCE.md)")
 		ckptEvery   = flag.Int64("ckpt-every", 0, "checkpoint cadence in executed tiles (default 64 with -ckpt-dir)")
 		resume      = flag.Bool("resume", false, "restore this rank's state from its checkpoint before running")
@@ -89,6 +91,15 @@ func main() {
 		crashTiles  = flag.Int64("crash-after-tiles", 0, "fault injection: exit(3) after this rank executes N tiles")
 		killRank    = flag.Int("kill-rank", -1, "fault injection for -launch: forward -crash-after-tiles to this rank only")
 		maxRestarts = flag.Int("max-restarts", 3, "per-rank restart budget for the -launch supervisor (with -ckpt-dir)")
+
+		elastic        = flag.Bool("elastic", false, "enable elastic membership: ranks may join and leave mid-run (docs/ELASTICITY.md)")
+		elasticMembers = flag.String("elastic-members", "", "comma-separated initial member ranks (default: every rank; must include 0)")
+		elasticJoin    = flag.Bool("elastic-join", false, "this rank starts as a standby and announces itself as a joiner")
+		elasticLeave   = flag.Int64("elastic-leave-after", 0, "request a voluntary leave after this rank executes N tiles")
+		scaleAtStr     = flag.String("scale-at", "", "rank-0 scale schedule, comma-separated tiles:delta pairs (e.g. 100:+2,500:-1)")
+		expectLeaves   = flag.Int("expect-leaves", 0, "voluntary leaves rank 0 waits for before declaring the membership final")
+		elasticInitial = flag.Int("elastic-initial", 0, "with -launch and -elastic: size of the initial member set; the remaining ranks join mid-run")
+		leaveRank      = flag.Int("leave-rank", -1, "with -launch and -elastic: forward -elastic-leave-after to this rank only")
 
 		report       = flag.Bool("report", false, "print the run-wide observability report: per-rank breakdowns, load imbalance, stragglers, critical path (implies tracing)")
 		statsJSON    = flag.String("stats-json", "", "write machine-readable run statistics as JSON to this file ('-' for stdout); with -launch, one JSON array over all ranks")
@@ -113,6 +124,12 @@ func main() {
 			ckptDir:     *ckptDir,
 			killRank:    *killRank,
 			crashTiles:  *crashTiles,
+			elastic:     *elastic,
+			elasticN:    *elasticInitial,
+			leaveRank:   *leaveRank,
+			leaveAfter:  *elasticLeave,
+			scaleAt:     *scaleAtStr,
+			leavesWant:  *expectLeaves,
 			traceOut:    *traceOut,
 			statsJSON:   *statsJSON,
 			report:      *report,
@@ -163,6 +180,26 @@ func main() {
 			Resume:     *resume || *rejoin,
 		},
 	}
+	if *elastic {
+		members, err := parseMembers(*elasticMembers)
+		if err != nil {
+			fatal(err)
+		}
+		schedule, err := parseScaleAt(*scaleAtStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Elastic = dpgen.ElasticConfig{
+			Enabled:         true,
+			Members:         members,
+			JoinRequest:     *elasticJoin,
+			LeaveAfterTiles: *elasticLeave,
+			ExpectLeaves:    *expectLeaves,
+		}
+		if *rank == 0 {
+			cfg.Elastic.ScaleAt = schedule
+		}
+	}
 	if *crashTiles > 0 {
 		cfg.CrashAfterTiles = *crashTiles
 		cfg.CrashFn = func() {
@@ -183,10 +220,12 @@ func main() {
 		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stopSig()
 		opts := dpgen.TCPOptions{
-			SendBufs: *sendBufs,
-			RecvBufs: *recvBufs,
-			Recovery: *ckptDir != "",
-			Context:  ctx,
+			SendBufs:        *sendBufs,
+			RecvBufs:        *recvBufs,
+			Recovery:        *ckptDir != "",
+			Context:         ctx,
+			HeartbeatEvery:  *heartbeat,
+			PeerDownTimeout: *peerDownTO,
 		}
 		if tracer != nil {
 			opts.Observer = recoveryObserver(tracer, *rank, *threads)
@@ -271,6 +310,11 @@ func main() {
 				fmt.Printf("node %d: ckpts %d ckpt_bytes %d dup_dropped %d hb_misses %d peer_restarts %d\n",
 					i, st.Checkpoints, st.CheckpointBytes, st.EdgesDroppedDup,
 					st.HeartbeatMisses, st.PeerRestarts)
+			}
+			if *elastic {
+				fmt.Printf("node %d: epochs %d migrated_out %d (%d edges) migrated_in %d (%d edges) forwarded %d\n",
+					i, st.Epochs, st.TilesMigratedOut, st.EdgesMigratedOut,
+					st.TilesMigratedIn, st.EdgesMigratedIn, st.EdgesForwarded)
 			}
 			if st.WireBytesSent != 0 || st.WireBytesRecv != 0 {
 				fmt.Printf("node %d: wire_sent %d wire_recv %d\n", i, st.WireBytesSent, st.WireBytesRecv)
@@ -415,6 +459,49 @@ func liveMetrics(tr dpgen.Transport) func(w io.Writer) error {
 		_, err := fmt.Fprintln(w, "# dprun: no live metrics source (not a distributed TCP run)")
 		return err
 	}
+}
+
+// parseMembers parses the -elastic-members rank list; empty means every
+// rank (the engine's default).
+func parseMembers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var members []int
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -elastic-members entry %q: %v", f, err)
+		}
+		members = append(members, r)
+	}
+	return members, nil
+}
+
+// parseScaleAt parses the -scale-at schedule: comma-separated
+// tiles:delta pairs, e.g. "100:+2,500:-1" grows the member set by two
+// ranks once rank 0 has executed 100 tiles and shrinks it by one at 500.
+func parseScaleAt(s string) ([]dpgen.ScaleEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var evs []dpgen.ScaleEvent
+	for _, f := range strings.Split(s, ",") {
+		tiles, delta, ok := strings.Cut(strings.TrimSpace(f), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -scale-at entry %q: want tiles:delta", f)
+		}
+		at, err := strconv.ParseInt(tiles, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -scale-at tile count %q: %v", tiles, err)
+		}
+		d, err := strconv.Atoi(delta)
+		if err != nil || d == 0 {
+			return nil, fmt.Errorf("bad -scale-at delta %q: want a non-zero signed rank count", delta)
+		}
+		evs = append(evs, dpgen.ScaleEvent{AfterTiles: at, Delta: d})
+	}
+	return evs, nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,13 @@ type launchConfig struct {
 	killRank    int    // fault injection target rank (-1 none)
 	crashTiles  int64  // fault injection tile budget
 
+	elastic    bool   // elastic membership (docs/ELASTICITY.md)
+	elasticN   int    // initial member count (0: every rank is a member)
+	leaveRank  int    // rank scheduled for a voluntary leave (-1 none)
+	leaveAfter int64  // leave threshold in executed tiles, for leaveRank
+	scaleAt    string // rank-0 scale schedule, tiles:delta pairs
+	leavesWant int    // -expect-leaves override (0: derived from leaveRank)
+
 	traceOut   string // merged Perfetto trace output path
 	statsJSON  string // merged stats JSON output path ("-" stdout)
 	report     bool   // print the run-wide report after the merge
@@ -105,6 +112,8 @@ func launchLocal(lc launchConfig) int {
 			"trace", "metrics", "cpuprofile", "memprofile",
 			"kill-rank", "max-restarts", "crash-after-tiles",
 			"resume", "rejoin",
+			"elastic-members", "elastic-join", "elastic-leave-after",
+			"scale-at", "expect-leaves", "elastic-initial", "leave-rank",
 			"report", "stats-json", "obs-addr", "metrics-out",
 			"check-trace", "trace-lenient":
 			return
@@ -133,6 +142,9 @@ func launchLocal(lc launchConfig) int {
 		}
 		if lc.wantObs() {
 			extra = append(extra, "-obs-addr=127.0.0.1:0")
+		}
+		if lc.elastic {
+			extra = append(extra, lc.elasticFlags(r)...)
 		}
 		return extra
 	}
@@ -283,6 +295,43 @@ func launchLocal(lc launchConfig) int {
 		ret = postRun(lc, statsBase, len(restarts) > 0)
 	}
 	return ret
+}
+
+// elasticFlags computes rank r's membership role in an -elastic job:
+// ranks below the initial member count (-elastic-initial, default all)
+// start as members, the rest start as standbys announcing a join; rank
+// -leave-rank is scheduled for a voluntary departure; rank 0 carries
+// the -scale-at schedule and waits for the scheduled leave before
+// declaring the membership final.
+func (lc launchConfig) elasticFlags(r int) []string {
+	init := lc.elasticN
+	if init <= 0 || init > lc.n {
+		init = lc.n
+	}
+	ranks := make([]string, init)
+	for i := range ranks {
+		ranks[i] = strconv.Itoa(i)
+	}
+	flags := []string{"-elastic-members=" + strings.Join(ranks, ",")}
+	if r >= init {
+		flags = append(flags, "-elastic-join")
+	}
+	if r == lc.leaveRank && lc.leaveAfter > 0 {
+		flags = append(flags, "-elastic-leave-after="+strconv.FormatInt(lc.leaveAfter, 10))
+	}
+	if r == 0 {
+		if lc.scaleAt != "" {
+			flags = append(flags, "-scale-at="+lc.scaleAt)
+		}
+		want := lc.leavesWant
+		if want == 0 && lc.leaveRank >= 0 && lc.leaveAfter > 0 {
+			want = 1
+		}
+		if want > 0 {
+			flags = append(flags, "-expect-leaves="+strconv.Itoa(want))
+		}
+	}
+	return flags
 }
 
 // rankFile is the per-rank variant of a job-wide output path.

@@ -121,6 +121,16 @@ type TCPOptions = tcp.Options
 // (Config.Checkpoint). See docs/FAULT_TOLERANCE.md.
 type CheckpointConfig = engine.CheckpointConfig
 
+// ElasticConfig enables elastic cluster membership (Config.Elastic):
+// ranks join and leave a distributed run mid-flight, with live
+// re-partitioning and migration of the in-flight tile state. See
+// docs/ELASTICITY.md.
+type ElasticConfig = engine.ElasticConfig
+
+// ScaleEvent is one entry of the elastic coordinator's scale schedule
+// (ElasticConfig.ScaleAt).
+type ScaleEvent = engine.ScaleEvent
+
 // PeerDownError is the typed error a recovery-enabled transport fails
 // with when a peer stays down past its timeout; it carries the dead
 // peer's rank.

@@ -46,39 +46,72 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// Slab is one load-balancing cell: the set of tiles sharing
+// load-balancing coordinates, all owned by one node. Work and Tiles are
+// the slab's Ehrhart-counted iteration-space cells and tile count.
+type Slab struct {
+	LB    []int64
+	Work  int64
+	Tiles int64
+}
+
 // Assignment maps tiles to nodes for fixed parameter values.
 type Assignment struct {
 	Nodes  int
 	Method Method
-	// Work is the per-node total work (iteration-space cells).
+	// Work is the per-node total work (iteration-space cells). For an
+	// assignment produced by Rebalance it counts only the work that was
+	// unexecuted at the rebalance point.
 	Work []int64
 	// Tiles is the per-node owned-tile count (used by the runtime for
-	// termination without a full tile-space scan).
+	// termination without a full tile-space scan). Remaining tiles only
+	// for a Rebalance assignment.
 	Tiles []int64
 	// Total is the problem's total work, the paper's first Ehrhart
 	// polynomial evaluated at the parameters.
 	Total int64
 
-	lbIdx []int
-	owner map[string]int
+	slabs     []Slab
+	slabOwner []int
+	lbIdx     []int
+	index     map[string]int // lb key -> slab index
 }
 
 // Build computes the node assignment for the given tiling, parameter
 // values and node count.
 func Build(tl *tiling.Tiling, params []int64, nodes int, m Method) (*Assignment, error) {
-	if nodes < 1 {
-		return nil, fmt.Errorf("balance: need at least 1 node, got %d", nodes)
+	return BuildMembers(tl, params, nodes, nil, m)
+}
+
+// BuildMembers computes an assignment over a world of `world` ranks in
+// which only `members` (nil means all of 0..world-1) own tiles: the
+// equal-work cuts are made among the members and mapped onto their rank
+// numbers, so an elastic run can start with a subset of the mesh active
+// and admit the rest later. Work and Tiles are indexed by rank over the
+// full world.
+func BuildMembers(tl *tiling.Tiling, params []int64, world int, members []int, m Method) (*Assignment, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("balance: need at least 1 node, got %d", world)
+	}
+	if members == nil {
+		members = make([]int, world)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if len(members) < 1 {
+		return nil, fmt.Errorf("balance: need at least 1 member")
+	}
+	for _, r := range members {
+		if r < 0 || r >= world {
+			return nil, fmt.Errorf("balance: member rank %d out of range [0,%d)", r, world)
+		}
 	}
 	nest, err := tl.LBNest()
 	if err != nil {
 		return nil, err
 	}
-	type cell struct {
-		lb    []int64
-		work  int64
-		tiles int64
-	}
-	var cells []cell
+	var slabs []Slab
 	np := len(params)
 	var total int64
 	var walkErr error
@@ -97,7 +130,7 @@ func Build(tl *tiling.Tiling, params []int64, nodes int, m Method) (*Assignment,
 			walkErr = err
 			return false
 		}
-		cells = append(cells, cell{lb: lb, work: w, tiles: nt})
+		slabs = append(slabs, Slab{LB: lb, Work: w, Tiles: nt})
 		total += w
 		return true
 	})
@@ -112,51 +145,73 @@ func Build(tl *tiling.Tiling, params []int64, nodes int, m Method) (*Assignment,
 		// Order by diagonal level first, keeping lexicographic refinement
 		// within a level. Enumeration order is already lexicographic, so a
 		// stable sort by level suffices.
-		sort.SliceStable(cells, func(i, j int) bool {
-			return sum(cells[i].lb) < sum(cells[j].lb)
+		sort.SliceStable(slabs, func(i, j int) bool {
+			return sum(slabs[i].LB) < sum(slabs[j].LB)
 		})
 	}
 
 	a := &Assignment{
-		Nodes:  nodes,
-		Method: m,
-		Work:   make([]int64, nodes),
-		Tiles:  make([]int64, nodes),
-		Total:  total,
-		lbIdx:  tl.LBIndices(),
-		owner:  make(map[string]int, len(cells)),
+		Nodes:     world,
+		Method:    m,
+		Work:      make([]int64, world),
+		Tiles:     make([]int64, world),
+		Total:     total,
+		slabs:     slabs,
+		slabOwner: make([]int, len(slabs)),
+		lbIdx:     tl.LBIndices(),
+		index:     make(map[string]int, len(slabs)),
 	}
+	n := len(members)
 	var cum int64
-	for _, c := range cells {
-		// Assign by the midpoint of the cell's work interval so cells
-		// straddling a cut go to the node owning most of them.
-		mid := cum + c.work/2
-		node := int(mid * int64(nodes) / total)
-		if node >= nodes {
-			node = nodes - 1
+	for i, s := range slabs {
+		// Assign by the midpoint of the slab's work interval so slabs
+		// straddling a cut go to the member owning most of them.
+		mid := cum + s.Work/2
+		pos := int(mid * int64(n) / total)
+		if pos >= n {
+			pos = n - 1
 		}
-		a.owner[key(c.lb)] = node
-		a.Work[node] += c.work
-		a.Tiles[node] += c.tiles
-		cum += c.work
+		node := members[pos]
+		a.index[key(s.LB)] = i
+		a.slabOwner[i] = node
+		a.Work[node] += s.Work
+		a.Tiles[node] += s.Tiles
+		cum += s.Work
 	}
 	return a, nil
 }
 
 // Owner returns the node owning the given tile (Vars-order tile index).
 func (a *Assignment) Owner(t []int64) int {
-	lb := make([]int64, len(a.lbIdx))
-	for i, k := range a.lbIdx {
-		lb[i] = t[k]
-	}
-	n, ok := a.owner[key(lb)]
-	if !ok {
+	i := a.SlabIndex(t)
+	if i < 0 {
 		// Tiles outside the load-balancing space should not exist; owning
 		// them on node 0 keeps the runtime total-footed rather than
 		// panicking deep inside a worker.
 		return 0
 	}
-	return n
+	return a.slabOwner[i]
+}
+
+// Slabs returns the load-balancing slabs in assignment order — the
+// deterministic order Rebalance walks, identical on every rank.
+func (a *Assignment) Slabs() []Slab { return a.slabs }
+
+// SlabOwner returns the owner of slab i (an index into Slabs).
+func (a *Assignment) SlabOwner(i int) int { return a.slabOwner[i] }
+
+// SlabIndex returns the index into Slabs of the slab containing the
+// given tile, or -1 if the tile is outside the load-balancing space.
+func (a *Assignment) SlabIndex(t []int64) int {
+	lb := make([]int64, len(a.lbIdx))
+	for i, k := range a.lbIdx {
+		lb[i] = t[k]
+	}
+	i, ok := a.index[key(lb)]
+	if !ok {
+		return -1
+	}
+	return i
 }
 
 // Imbalance returns max(Work)/mean(Work); 1.0 is perfect.

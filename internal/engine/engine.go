@@ -113,6 +113,13 @@ type Config struct {
 	// wrapper in real processes, a transport Kill in in-process tests.
 	// Required when CrashAfterTiles is positive.
 	CrashFn func()
+	// Elastic enables elastic cluster membership: ranks joining and
+	// leaving mid-run with live re-partitioning and migration of the
+	// in-flight tile state. Requires a distributed run over a
+	// transport with membership support (dpgen/internal/mpi/tcp) and
+	// composes with neither PollingRecv nor Checkpoint. See
+	// docs/ELASTICITY.md.
+	Elastic ElasticConfig
 }
 
 // CheckpointConfig configures the engine's fault-tolerance checkpoints
@@ -213,6 +220,17 @@ type NodeStats struct {
 	// result merge; only the local rank's entry is populated.
 	HeartbeatMisses int64
 	PeerRestarts    int64
+	// Epochs counts membership epochs this rank applied (elastic
+	// runs; see Config.Elastic). TilesMigratedOut/In and
+	// EdgesMigratedOut/In count the live tiles and their buffered
+	// edges shipped off or absorbed at view changes; EdgesForwarded
+	// counts stale-epoch edges re-sent to a tile's current owner.
+	Epochs           int64
+	TilesMigratedOut int64
+	TilesMigratedIn  int64
+	EdgesMigratedOut int64
+	EdgesMigratedIn  int64
+	EdgesForwarded   int64
 	// WireBytesSent and WireBytesRecv are the transport's raw
 	// bytes-on-wire counters (tcp.Transport.Bytes), frame headers
 	// included, sampled after the run's result merge. Zero for
@@ -274,6 +292,14 @@ type engine struct {
 	maxVal  float64
 	maxSet  bool
 
+	// Elastic membership (Config.Elastic): assignP is the current
+	// epoch's assignment, swapped atomically at view changes while
+	// every worker is paused (nil outside elastic runs — ownerOf falls
+	// back to the static assign). initialMembers seeds rank 0's
+	// coordinator state.
+	assignP        atomic.Pointer[balance.Assignment]
+	initialMembers []int
+
 	finished sync.WaitGroup // one per node: all owned tiles executed
 }
 
@@ -320,6 +346,30 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 	if cfg.CrashAfterTiles > 0 && cfg.CrashFn == nil {
 		return nil, fmt.Errorf("engine: CrashAfterTiles requires CrashFn")
 	}
+	el := cfg.Elastic.Enabled
+	var elMembers []int
+	if el {
+		switch {
+		case !distributed:
+			return nil, fmt.Errorf("engine: Elastic requires a Transport (distributed run)")
+		case cfg.PollingRecv:
+			return nil, fmt.Errorf("engine: Elastic does not compose with PollingRecv")
+		case ft:
+			return nil, fmt.Errorf("engine: Elastic does not compose with Checkpoint")
+		case prep != nil:
+			return nil, fmt.Errorf("engine: Elastic does not compose with Prepared runs")
+		case len(tl.TileDeps) > 64:
+			return nil, fmt.Errorf("engine: elastic membership supports at most 64 tile dependences, spec has %d",
+				len(tl.TileDeps))
+		}
+		if _, ok := tr.(elasticTransport); !ok {
+			return nil, fmt.Errorf("engine: transport %T does not support elastic membership", tr)
+		}
+		var err error
+		if elMembers, err = normalizeMembers(cfg.Elastic.Members, cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
 
 	start := time.Now()
 	var assign *balance.Assignment
@@ -330,6 +380,12 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 			return nil, err
 		}
 		assign, balanceTime = prep.assign, prep.balanceTime
+	} else if el {
+		assign, err = balance.BuildMembers(tl, params, cfg.Nodes, elMembers, cfg.Balance)
+		if err != nil {
+			return nil, err
+		}
+		balanceTime = time.Since(start)
 	} else {
 		assign, err = balance.Build(tl, params, cfg.Nodes, cfg.Balance)
 		if err != nil {
@@ -352,6 +408,10 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 		assign: assign,
 		comm:   comm,
 	}
+	if el {
+		e.initialMembers = elMembers
+		e.assignP.Store(assign)
+	}
 	e.goalTile, e.goalLocal = tl.GoalTile()
 	e.depLocOff = tl.DepLocOffAt(params)
 	e.depStride = tl.DepStrideAt(params)
@@ -373,6 +433,9 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 	if distributed {
 		n := newNode(e, tr.ID(), tr)
 		n.ownedTotal = assign.Tiles[tr.ID()]
+		if el {
+			n.et = tr.(elasticTransport)
+		}
 		nodeByRank[tr.ID()] = n
 		nodes = []*node{n}
 	} else {
@@ -391,6 +454,12 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 		initial, ownedTotals = initialAndTotals(tl, params, assign, cfg.Nodes)
 	}
 	if ownedTotals != nil {
+		if el {
+			// The rebalancer's owned-tile arithmetic needs the exact
+			// per-slab tile counts; a tiling whose totals come from the
+			// fallback full scan cannot provide them.
+			return nil, fmt.Errorf("engine: Elastic requires exact per-slab tile counts for this tiling")
+		}
 		for _, n := range nodes {
 			n.ownedTotal = ownedTotals[n.id]
 		}
@@ -461,7 +530,7 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 				n.receiver(lane)
 			}(n)
 		}
-		if n.ft {
+		if n.ft && n.ckptPath != "" {
 			receivers.Add(1)
 			go func(n *node) {
 				defer receivers.Done()
@@ -470,6 +539,16 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 					lane = cfg.Tracer.Lane(n.id, laneInit(cfg)+1, "ckpt")
 				}
 				n.checkpointer(lane)
+			}(n)
+		}
+		if n.elastic {
+			n.elasticWG.Add(1)
+			go func(n *node) {
+				var lane *obs.Lane
+				if cfg.Tracer != nil {
+					lane = cfg.Tracer.Lane(n.id, laneInit(cfg)+3, "elastic")
+				}
+				e.elasticLoop(n, lane)
 			}(n)
 		}
 		for w := 0; w < cfg.Threads; w++ {
@@ -521,6 +600,13 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 			n.st.WireBytesSent, n.st.WireBytesRecv = sent, recvd
 			n.mu.Unlock()
 		}
+		if el {
+			// The elastic loop outlives the local finish so departed and
+			// standby ranks keep answering view changes; it stops only
+			// after the collective merge proved every rank is done.
+			close(nodes[0].stopElastic)
+			nodes[0].elasticWG.Wait()
+		}
 		tr.Close()
 	} else {
 		e.finished.Wait()
@@ -530,6 +616,9 @@ func run(tl *tiling.Tiling, kernel Kernel, params []int64, cfg Config, prep *Pre
 		n.mu.Lock()
 		n.done = true
 		n.cond.Broadcast()
+		if n.elastic {
+			n.pauseCond.Broadcast()
+		}
 		n.mu.Unlock()
 	}
 	workers.Wait()
@@ -666,9 +755,9 @@ type node struct {
 	// epoch/sleepers implement the lost-wakeup-free worker sleep of
 	// steal.go; qlen counts queued tiles across shards and pendingTiles
 	// the dynamic pending-table entries.
-	epoch    atomic.Uint64
-	sleepers atomic.Int32
-	qlen     atomic.Int64
+	epoch        atomic.Uint64
+	sleepers     atomic.Int32
+	qlen         atomic.Int64
 	pendingTiles atomic.Int64
 	seqA         atomic.Int64
 
@@ -695,6 +784,25 @@ type node struct {
 	crashAt     int64
 	crashed     bool
 	resumeCk    *checkpoint
+
+	// Elastic membership state (Config.Elastic; see elastic.go).
+	// paused/executingN/elasticFin/leaveSent are under mu: pauseCond
+	// parks workers during a view change, quietCond wakes the pauser
+	// when the last in-flight tile retires. executedPerSlab — this
+	// rank's contribution to the global executed census, indexed like
+	// assign.Slabs() — is under stripes[0].mu next to executedSet.
+	elastic         bool
+	et              elasticTransport
+	paused          bool
+	executingN      int
+	elasticFin      bool
+	leaveSent       bool
+	pauseCond       *sync.Cond
+	quietCond       *sync.Cond
+	curEpoch        atomic.Uint32
+	executedPerSlab []int64
+	stopElastic     chan struct{}
+	elasticWG       sync.WaitGroup
 
 	// Counters off the hot locks: edge-memory accounting plus the
 	// scheduler and traffic totals folded into st after the run.
@@ -729,9 +837,10 @@ func newNode(e *engine, id int, rank mpi.Transport) *node {
 		n.shards[i].rng = uint64(i+1) * 0x9E3779B97F4A7C15
 	}
 	// Stripe count: a few stripes per worker, power of two for the
-	// mask; one stripe under fault tolerance (see pstripe).
+	// mask; one stripe under fault tolerance or elastic membership
+	// (see pstripe — both need one lock over every per-tile transition).
 	nstripes := 1
-	if e.cfg.Checkpoint.Dir == "" {
+	if e.cfg.Checkpoint.Dir == "" && !e.cfg.Elastic.Enabled {
 		nstripes = 4
 		for nstripes < 4*threads && nstripes < 64 {
 			nstripes *= 2
@@ -742,12 +851,24 @@ func newNode(e *engine, id int, rank mpi.Transport) *node {
 		n.stripes[i].pending = make(map[uint64]*pendTile)
 	}
 	n.smask = uint64(nstripes - 1)
-	if e.cfg.Checkpoint.Dir != "" {
+	if e.cfg.Checkpoint.Dir != "" || e.cfg.Elastic.Enabled {
+		// Elastic runs reuse the fault-tolerance tracking (dedup maps,
+		// edge retention until the executed mark) without the on-disk
+		// checkpoints: migration needs exactly the same live state.
 		n.ft = true
 		n.executedSet = make(map[uint64]struct{})
 		n.started = make(map[uint64]*pendTile)
+	}
+	if e.cfg.Checkpoint.Dir != "" {
 		n.ckptPath = CheckpointPath(e.cfg.Checkpoint.Dir, id)
 		n.ckptEvery = e.cfg.Checkpoint.EveryTiles
+	}
+	if e.cfg.Elastic.Enabled {
+		n.elastic = true
+		n.pauseCond = sync.NewCond(&n.mu)
+		n.quietCond = sync.NewCond(&n.mu)
+		n.executedPerSlab = make([]int64, len(e.assign.Slabs()))
+		n.stopElastic = make(chan struct{})
 	}
 	n.crashAt = e.cfg.CrashAfterTiles
 	return n
@@ -774,11 +895,23 @@ func (n *node) worker(w int, lane *obs.Lane) {
 	ws := newWorkerState(n.eng)
 	ws.lane = lane
 	for {
+		if n.elastic {
+			// Claim the executing slot before the pop, so a popped tile
+			// is always covered by a slot and the view-change pauser can
+			// wait for a true tile boundary (see elastic.go).
+			n.pauseGate()
+		}
 		e0 := n.epoch.Load()
 		p, stolen := n.popAny(w)
 		if p != nil {
 			n.execTile(p, ws, stolen)
+			if n.elastic {
+				n.execDone()
+			}
 			continue
+		}
+		if n.elastic {
+			n.execDone()
 		}
 		n.mu.Lock()
 		if n.done {
@@ -851,6 +984,38 @@ func (n *node) receiver(lane *obs.Lane) {
 		m, ok := n.rank.Recv()
 		if !ok {
 			return
+		}
+		if n.elastic {
+			if m.Tag < 0 {
+				// A migration blob (see elastic.go). The slot — and with
+				// it the acknowledgement — is released only after the
+				// blob is fully applied, so the sender's next quiescence
+				// point proves these tiles live here now.
+				n.applyMigration(m.Data, m.Meta, lane, ds)
+				mpi.PutData(m.Data)
+				m.ReleaseSlot()
+				mpi.PutMeta(m.Meta)
+				continue
+			}
+			if m.Epoch < n.curEpoch.Load() {
+				// An edge sent under an older membership epoch. The view
+				// change drained all data traffic, so this cannot happen
+				// in supported configurations — but if it does, a tile
+				// that moved away gets its edge forwarded to the current
+				// owner instead of being dropped or double-applied (the
+				// duplicate filter below handles the still-owned case).
+				if o := n.eng.ownerOf(m.Meta); o != n.id {
+					meta := mpi.GetMeta(len(m.Meta))
+					copy(meta, m.Meta)
+					n.rank.Send(o, m.Tag, m.Data, meta)
+					n.mu.Lock()
+					n.st.EdgesForwarded++
+					n.mu.Unlock()
+					m.ReleaseSlot()
+					mpi.PutMeta(m.Meta)
+					continue
+				}
+			}
 		}
 		n.deliver(m.Meta, m.Tag, m.Data, true, lane, ds)
 		m.ReleaseSlot()
@@ -1280,7 +1445,7 @@ func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 				return true
 			})
 		}
-		owner := e.assign.Owner(consumer)
+		owner := e.ownerOf(consumer)
 		if owner == n.id {
 			n.deliver(consumer, j, data, false, lane, &w.ds)
 		} else {
@@ -1325,6 +1490,13 @@ func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 		st0.mu.Lock()
 		delete(n.started, k)
 		n.executedSet[k] = struct{}{}
+		if n.elastic {
+			// Slab indices are stable across rebalances (the slab table
+			// is shared), so the census can use the initial assignment.
+			if si := e.assign.SlabIndex(p.tile); si >= 0 {
+				n.executedPerSlab[si]++
+			}
+		}
 		for i := range p.edges {
 			mpi.PutData(p.edges[i].data)
 			p.edges[i] = edge{}
@@ -1334,7 +1506,7 @@ func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 	}
 
 	// One batched stats update per tile.
-	var crash bool
+	var crash, wantLeave bool
 	n.mu.Lock()
 	n.st.TilesExecuted++
 	n.st.CellsComputed += cells
@@ -1349,9 +1521,22 @@ func (n *node) execTile(p *pendTile, w *workerState, stolen bool) {
 		crash = true
 	}
 	finished := n.executed == n.ownedTotal
+	if n.elastic && !n.leaveSent {
+		// Voluntary departure: ask the coordinator out once the
+		// threshold is reached — or on local completion, so a rank
+		// whose tiles ran out early still honours its leave (and the
+		// coordinator's ExpectLeaves accounting).
+		if la := e.cfg.Elastic.LeaveAfterTiles; la > 0 && (n.executed >= la || finished) {
+			n.leaveSent = true
+			wantLeave = true
+		}
+	}
 	n.mu.Unlock()
 	if crash {
 		e.cfg.CrashFn()
+	}
+	if wantLeave {
+		n.et.SendElastic(0, mpi.ElasticLeave, nil)
 	}
 	// Retire the tile from its wavefront level, releasing the next
 	// static level if this drained the frontier. Must follow the
@@ -1500,10 +1685,14 @@ func (n *node) execInterior(p *pendTile, w *workerState) (cells int64, tileMax f
 }
 
 // checkFinished signals global termination bookkeeping exactly once when
-// the node has executed every owned tile (including owning none).
+// the node has executed every owned tile (including owning none). Under
+// elastic membership it additionally waits for the coordinator's FIN:
+// owning zero tiles is transient there (a standby may be admitted, a
+// view change may migrate tiles in), so only the FIN broadcast makes
+// "nothing owned, nothing left" final.
 func (n *node) checkFinished() {
 	n.mu.Lock()
-	done := n.executed == n.ownedTotal
+	done := n.executed == n.ownedTotal && (!n.elastic || n.elasticFin)
 	n.mu.Unlock()
 	if done {
 		n.finishOnce.Do(n.eng.finished.Done)

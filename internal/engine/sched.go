@@ -103,14 +103,17 @@ type nodeSched struct {
 // staticEnabled reports whether the configuration admits a static
 // phase. Fault tolerance disables it because a resumed rank re-executes
 // only part of each level, and DisableFastPath disables it because the
-// classification is exactly the interior-tile fast path's. A single
+// classification is exactly the interior-tile fast path's. Elastic
+// membership disables it because ownership — the basis of the
+// classification — is no longer fixed at partition time. A single
 // worker per node disables it too: the phase exists to remove per-tile
 // synchronization between workers, and with one worker there is none —
 // only the classification scan's cost would remain (measurable on
 // scan-heavy cases like lcs2@paper, ~4k tiles).
 func (e *engine) staticEnabled() bool {
 	return e.cfg.Sched == SchedHybrid && e.cfg.Threads > 1 &&
-		!e.cfg.DisableFastPath && e.cfg.Checkpoint.Dir == ""
+		!e.cfg.DisableFastPath && e.cfg.Checkpoint.Dir == "" &&
+		!e.cfg.Elastic.Enabled
 }
 
 // buildStatic runs the partition-time classification scan for every

@@ -9,12 +9,16 @@ package mpi_test
 import (
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"dpgen/internal/engine"
 	"dpgen/internal/mpi"
 	"dpgen/internal/mpi/tcp"
+	"dpgen/internal/problems"
+	"dpgen/internal/tiling"
 )
 
 // mesh builds one fully connected set of transports; the cleanup of
@@ -675,4 +679,141 @@ func TestTCPKillRecover(t *testing.T) {
 		go func(tr *tcp.Transport) { defer wg.Done(); tr.Close() }(tr)
 	}
 	wg.Wait()
+}
+
+// TestTCPChaosKillRecover drives the full engine through the worst
+// transport weather the suite can brew: a three-rank recovery mesh
+// whose every delivery is randomly delayed (reordered) by ChaosDelay,
+// in which rank 2 crashes mid-run and a restarted incarnation rejoins
+// and resumes from its checkpoint. The finished job must still be
+// bit-identical to the serial reference on every rank, and no
+// goroutine — crashed incarnation included — may outlive the run.
+func TestTCPChaosKillRecover(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, err := problems.Get("lcs2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := p.DefaultParams
+	serial := p.Serial(params)
+
+	const size, threads = 3, 2
+	ckdir := t.TempDir()
+	lns := make([]net.Listener, size)
+	peers := make([]string, size)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	opts := func(r int) tcp.Options {
+		return tcp.Options{
+			Recovery:    true,
+			DialTimeout: 15 * time.Second,
+			Listener:    lns[r],
+			ChaosDelay:  chaosDelayFn(int64(r + 1)),
+		}
+	}
+
+	type outcome struct {
+		res *engine.Result
+		err error
+	}
+	run := func(r int, tr mpi.Transport, crash func(), crashAfter int64, resume bool) outcome {
+		tl, err := tiling.New(p.Spec)
+		if err != nil {
+			return outcome{nil, err}
+		}
+		res, err := engine.Run(tl, p.Kernel, params, engine.Config{
+			Transport:       tr,
+			Threads:         threads,
+			Checkpoint:      engine.CheckpointConfig{Dir: ckdir, EveryTiles: 4, Resume: resume},
+			CrashAfterTiles: crashAfter,
+			CrashFn:         crash,
+		})
+		return outcome{res, err}
+	}
+
+	survivors := make([]chan outcome, 2)
+	for r := 0; r < 2; r++ {
+		r := r
+		survivors[r] = make(chan outcome, 1)
+		go func() {
+			tr, err := tcp.Dial(r, peers, opts(r))
+			if err != nil {
+				survivors[r] <- outcome{nil, err}
+				return
+			}
+			survivors[r] <- run(r, tr, nil, 0, false)
+		}()
+	}
+
+	// Rank 2, first incarnation: its transport dies after 6 tiles.
+	crashed := make(chan outcome, 1)
+	go func() {
+		tr, err := tcp.Dial(2, peers, opts(2))
+		if err != nil {
+			crashed <- outcome{nil, err}
+			return
+		}
+		crashed <- run(2, tr, tr.Kill, 6, false)
+	}()
+	select {
+	case oc := <-crashed:
+		if oc.err == nil {
+			t.Fatalf("crashed incarnation returned nil error (result %+v)", oc.res)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("crashed incarnation never returned")
+	}
+
+	// Second incarnation: rejoin through the same chaos and resume.
+	tr2b, err := tcp.DialRejoin(2, peers, tcp.Options{
+		DialTimeout: 15 * time.Second,
+		ChaosDelay:  chaosDelayFn(99),
+	})
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	oc2 := run(2, tr2b, nil, 0, true)
+	if oc2.err != nil {
+		t.Fatalf("resumed incarnation: %v", oc2.err)
+	}
+
+	results := map[int]*engine.Result{2: oc2.res}
+	for r := 0; r < 2; r++ {
+		select {
+		case oc := <-survivors[r]:
+			if oc.err != nil {
+				t.Fatalf("rank %d: %v", r, oc.err)
+			}
+			results[r] = oc.res
+		case <-time.After(60 * time.Second):
+			t.Fatalf("rank %d never finished", r)
+		}
+	}
+	for r := 0; r < size; r++ {
+		got := results[r].Value
+		if p.UseMax {
+			got = results[r].Max
+		}
+		if got != serial {
+			t.Errorf("rank %d: chaotic recovered run %.17g != serial reference %.17g", r, got, serial)
+		}
+	}
+
+	// Transports are closed by engine.Run; the process must return to
+	// its pre-test goroutine count (give the runtime time to reap).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

@@ -1,0 +1,34 @@
+package mpi
+
+// Elastic membership control messages. A transport that supports
+// membership changes mid-run (ranks joining or leaving while tiles
+// are executing) carries these out-of-band from DATA traffic and
+// exposes them through an ElasticCh channel; the engine's membership
+// coordinator consumes them. The message kinds mirror the view-change
+// protocol documented in docs/ELASTICITY.md:
+//
+//	Join       a standby rank announces it wants tile ownership
+//	Leave      a member rank requests a graceful departure
+//	EpochPrep  rank 0 asks every rank to pause and drain to quiescence
+//	EpochAck   a rank reports quiescence + its per-slab executed census
+//	Epoch      rank 0 installs the new view (members + global census)
+//	Fin        rank 0 signals that no further view changes will occur
+//
+// The payload encoding is owned by the engine (internal/engine); the
+// transport treats it as opaque bytes.
+const (
+	ElasticJoin      = 1
+	ElasticLeave     = 2
+	ElasticEpochPrep = 3
+	ElasticEpochAck  = 4
+	ElasticEpoch     = 5
+	ElasticFin       = 6
+)
+
+// ElasticMsg is one membership control message as delivered by a
+// transport's ElasticCh. Payload is owned by the receiver.
+type ElasticMsg struct {
+	Kind    byte
+	Src     int
+	Payload []byte
+}

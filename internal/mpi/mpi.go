@@ -43,6 +43,10 @@ type Message struct {
 	// Seq is the per-(sender, destination) wire sequence number of the
 	// carrying DATA frame; zero for in-process transports.
 	Seq uint64
+	// Epoch is the sender's membership epoch when the message was sent
+	// (see the elastic membership protocol). Zero for in-process
+	// transports and for transports that never change membership.
+	Epoch uint32
 
 	slot     chan struct{}
 	release  func()

@@ -67,11 +67,23 @@ const (
 	kRejoin     = byte(10) // u32 rank: restarted rank reconnecting
 	kClockReq   = byte(11) // i64 t0: clock-sync probe, echoed by the responder
 	kClockResp  = byte(12) // i64 t0 echo | i64 responder aligned unix nanos
+
+	// Elastic membership control frames (docs/ELASTICITY.md). The wire
+	// kind is kElasticBase plus the mpi.Elastic* message kind; the body
+	// is an opaque payload owned by the engine's membership coordinator.
+	kElasticBase = byte(12)                                  // + mpi.ElasticJoin..mpi.ElasticFin = 13..18
+	kJoin        = kElasticBase + byte(mpi.ElasticJoin)      // 13
+	kLeave       = kElasticBase + byte(mpi.ElasticLeave)     // 14
+	kEpochPrep   = kElasticBase + byte(mpi.ElasticEpochPrep) // 15
+	kEpochAck    = kElasticBase + byte(mpi.ElasticEpochAck)  // 16
+	kEpoch       = kElasticBase + byte(mpi.ElasticEpoch)     // 17
+	kFin         = kElasticBase + byte(mpi.ElasticFin)       // 18
 )
 
 // dataHdrLen is the fixed DATA body header size: src, tag, send
-// timestamp, sequence number, meta and data lengths.
-const dataHdrLen = 36
+// timestamp, sequence number, meta and data lengths, and the sender's
+// membership epoch (zero on meshes that never change membership).
+const dataHdrLen = 40
 
 // maxFrame bounds a frame's body length; larger lengths indicate a
 // corrupt stream and fail the transport.
@@ -366,6 +378,12 @@ type Transport struct {
 	seqMu sync.Mutex
 	seq   uint32
 
+	// epoch is the current membership epoch stamped into outgoing DATA
+	// frames; elasticCh carries decoded membership control frames to the
+	// engine's coordinator (see SendElastic / ElasticCh).
+	epoch     atomic.Uint32
+	elasticCh chan mpi.ElasticMsg
+
 	coordCh chan ctrl // rank 0: barrier arrivals / all-reduce values
 	relCh   chan ctrl // non-zero ranks: releases / results
 
@@ -510,6 +528,7 @@ func newTransport(rank, size int, o Options) *Transport {
 		stop:       make(chan struct{}),
 		coordCh:    make(chan ctrl, 4*size),
 		relCh:      make(chan ctrl, 4),
+		elasticCh:  make(chan mpi.ElasticMsg, 8*size),
 		allByes:    make(chan struct{}),
 		framesTo:   make([]atomic.Int64, size),
 		framesFrom: make([]atomic.Int64, size),
@@ -747,6 +766,7 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 			default:
 			}
 		})
+		m.Epoch = t.epoch.Load()
 		select {
 		case t.inbox <- m:
 		case <-t.stop:
@@ -761,8 +781,9 @@ func (t *Transport) send(dst, tag int, data []float64, meta []int64, poll func()
 	}
 	pc := t.conn(dst)
 	sendAt, seq := t.stampData(dst)
+	epoch := t.epoch.Load()
 	wstall, err := pc.sendFrame(t, poll, kData, func(b []byte) []byte {
-		return appendDataBody(b, t.rank, tag, sendAt, seq, data, meta)
+		return appendDataBody(b, t.rank, tag, sendAt, seq, epoch, data, meta)
 	})
 	stall += wstall
 	if err != nil {
@@ -787,7 +808,7 @@ func (t *Transport) sendRecovery(dst, tag int, data []float64, meta []int64, pol
 	sendAt, seq := t.stampData(dst)
 	frame := make([]byte, 0, 4+1+dataHdrLen+8*len(meta)+8*len(data))
 	frame = append(frame, 0, 0, 0, 0, kData)
-	frame = appendDataBody(frame, t.rank, tag, sendAt, seq, data, meta)
+	frame = appendDataBody(frame, t.rank, tag, sendAt, seq, t.epoch.Load(), data, meta)
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 
 	ps := t.pstate[dst]
@@ -845,14 +866,16 @@ func (t *Transport) stampData(dst int) (sendAt int64, seq uint64) {
 }
 
 // appendDataBody encodes a DATA frame body (src, tag, send stamp,
-// sequence, meta, data) after the length prefix and kind byte.
-func appendDataBody(b []byte, src, tag int, sendAt int64, seq uint64, data []float64, meta []int64) []byte {
+// sequence, meta/data lengths, membership epoch, meta, data) after the
+// length prefix and kind byte.
+func appendDataBody(b []byte, src, tag int, sendAt int64, seq uint64, epoch uint32, data []float64, meta []int64) []byte {
 	b = appendU32(b, uint32(src))
 	b = appendU64(b, uint64(tag))
 	b = appendU64(b, uint64(sendAt))
 	b = appendU64(b, seq)
 	b = appendU32(b, uint32(len(meta)))
 	b = appendU32(b, uint32(len(data)))
+	b = appendU32(b, epoch)
 	for _, v := range meta {
 		b = appendU64(b, uint64(v))
 	}
@@ -1081,6 +1104,19 @@ func (t *Transport) reader(pc *peerConn) {
 		case kBye:
 			t.noteBye()
 			return
+		case kJoin, kLeave, kEpochPrep, kEpochAck, kEpoch, kFin:
+			// The frame body buffer is reused by the next read, so the
+			// payload handed to the coordinator must be a copy.
+			var payload []byte
+			if len(p) > 0 {
+				payload = make([]byte, len(p))
+				copy(payload, p)
+			}
+			select {
+			case t.elasticCh <- mpi.ElasticMsg{Kind: kind - kElasticBase, Src: pc.peer, Payload: payload}:
+			case <-t.stop:
+				return
+			}
 		default:
 			t.fail(fmt.Errorf("tcp: rank %d: unknown frame kind %d from rank %d", t.rank, kind, pc.peer))
 			return
@@ -1137,6 +1173,7 @@ func (t *Transport) decodeData(pc *peerConn, p []byte) (*mpi.Message, error) {
 	seq := binary.LittleEndian.Uint64(p[20:28])
 	nmeta := int(binary.LittleEndian.Uint32(p[28:32]))
 	ndata := int(binary.LittleEndian.Uint32(p[32:36]))
+	epoch := binary.LittleEndian.Uint32(p[36:40])
 	if want := dataHdrLen + 8*nmeta + 8*ndata; want != len(p) {
 		return nil, fmt.Errorf("length mismatch: %d cells declared, %d bytes", want, len(p))
 	}
@@ -1158,6 +1195,7 @@ func (t *Transport) decodeData(pc *peerConn, p []byte) (*mpi.Message, error) {
 	m := mpi.NewMessage(src, tag, data, meta, func() { t.ack(pc) })
 	m.SendAtUnixNanos = sendAt
 	m.Seq = seq
+	m.Epoch = epoch
 	return m, nil
 }
 
@@ -1663,6 +1701,63 @@ func (t *Transport) RecoveryStats() (heartbeatMisses, peerRestarts int64) {
 // had its outgoing edges *received* (not merely written to a socket
 // buffer that process death could discard).
 func (t *Transport) PendingSends() int { return len(t.slots) }
+
+// ---- elastic membership ----
+
+// SetEpoch installs the membership epoch stamped into every subsequent
+// outgoing DATA frame. The engine's membership coordinator calls it
+// when a new view is applied; receivers use the stamp to detect edges
+// sent under a previous ownership map (docs/ELASTICITY.md).
+func (t *Transport) SetEpoch(e uint32) { t.epoch.Store(e) }
+
+// Epoch returns the currently installed membership epoch.
+func (t *Transport) Epoch() uint32 { return t.epoch.Load() }
+
+// ElasticCh returns the channel on which membership control messages
+// (JOIN/LEAVE/EPOCH_PREP/EPOCH_ACK/EPOCH/FIN frames, plus self-sends)
+// are delivered. Only the engine's membership coordinator should
+// consume it.
+func (t *Transport) ElasticCh() <-chan mpi.ElasticMsg { return t.elasticCh }
+
+// SendElastic delivers a membership control message to dst. Unlike
+// DATA sends it consumes no send-buffer slot — the elastic protocol
+// must make progress while workers are paused and DATA slots drained.
+// A send to self is delivered directly into this endpoint's own
+// elastic channel, so the rank-0 coordinator handles its own messages
+// through the same path as everyone else's.
+func (t *Transport) SendElastic(dst int, kind byte, payload []byte) error {
+	if kind < mpi.ElasticJoin || kind > mpi.ElasticFin {
+		return fmt.Errorf("tcp: bad elastic kind %d", kind)
+	}
+	if dst == t.rank {
+		var p []byte
+		if len(payload) > 0 {
+			p = make([]byte, len(payload))
+			copy(p, payload)
+		}
+		select {
+		case t.elasticCh <- mpi.ElasticMsg{Kind: kind, Src: t.rank, Payload: p}:
+			return nil
+		case <-t.stop:
+			return t.errOr()
+		}
+	}
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("tcp: elastic send to rank %d out of range [0,%d)", dst, t.size)
+	}
+	pc := t.conn(dst)
+	if pc == nil {
+		return fmt.Errorf("tcp: elastic send to rank %d: no connection", dst)
+	}
+	if _, err := pc.sendFrame(t, nil, kElasticBase+kind, func(b []byte) []byte {
+		return append(b, payload...)
+	}); err != nil {
+		err = fmt.Errorf("tcp: rank %d elastic send to rank %d: %w", t.rank, dst, err)
+		t.fail(err)
+		return err
+	}
+	return nil
+}
 
 // ---- framing helpers ----
 

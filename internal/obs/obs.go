@@ -96,6 +96,16 @@ const (
 	// queues drain: 1 for a tile stolen from another worker's shard, 0
 	// for a local pop.
 	KQueueDepth
+	// KEpoch marks a membership view change taking effect on this node
+	// (elastic runs); Val is the new epoch number.
+	KEpoch
+	// KMigrateOut marks the completion of one outgoing migration blob —
+	// unexecuted tiles this node no longer owns, shipped to their new
+	// owner; Val is the number of tiles in the blob.
+	KMigrateOut
+	// KMigrateIn marks the application of one incoming migration blob;
+	// Val is the number of tiles absorbed.
+	KMigrateIn
 	kindCount
 )
 
@@ -104,6 +114,7 @@ var kindNames = [kindCount]string{
 	"send", "recv", "stall", "idle", "pending_edges",
 	"checkpoint", "recover", "heartbeat_miss", "peer_restart",
 	"peer_down", "park", "rejoin", "replay", "queue_depth",
+	"epoch", "migrate_out", "migrate_in",
 }
 
 // String returns the kind's wire name (the "k" field of the JSONL
